@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("missing subcommand should error")
+	}
+	if err := run([]string{"nope"}, &b); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+}
+
+func TestRunRejectsBadCooler(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"fig1", "-cooler", "5W"}, &b); err == nil {
+		t.Error("unknown cooler should error")
+	}
+}
+
+func TestParseCooler(t *testing.T) {
+	for _, name := range []string{"100kW", "1kW", "100W", "10W"} {
+		c, err := parseCooler(name)
+		if err != nil {
+			t.Errorf("parseCooler(%s): %v", name, err)
+		}
+		if c.ThresholdK != 200 {
+			t.Errorf("cooler threshold = %g, want 200", c.ThresholdK)
+		}
+	}
+	if _, err := parseCooler("77K"); err == nil {
+		t.Error("bad cooler name should error")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"table1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table I", "5 GHz", "shared 16 MiB, 16 ways"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"fig1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Fig. 1") || !strings.Contains(b.String(), "387") {
+		t.Errorf("fig1 output incomplete: %q", b.String()[:80])
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"sweep", "-cell", "PCM", "-corner", "optimistic", "-dies", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"read latency", "footprint/die", "organization", "mm2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in sweep output", want)
+		}
+	}
+}
+
+func TestRunSweepEDRAMAt77K(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"sweep", "-cell", "3T-eDRAM", "-temp", "77"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "refresh power") {
+		t.Error("eDRAM sweep should report refresh power")
+	}
+}
+
+func TestRunSweepRejectsBadInputs(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"sweep", "-cell", "FLUX"}, &b); err == nil {
+		t.Error("unknown cell should error")
+	}
+	if err := run([]string{"sweep", "-cell", "PCM", "-corner", "middling"}, &b); err == nil {
+		t.Error("unknown corner should error")
+	}
+	if err := run([]string{"sweep", "-dies", "3"}, &b); err == nil {
+		t.Error("3 dies should error")
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"coldtall/internal/sim"
+)
+
+// FuzzReplay hardens the trace parser: arbitrary input must either replay
+// cleanly or return an error — never panic, and never mis-count.
+func FuzzReplay(f *testing.F) {
+	f.Add("R 0x1000\nW 0x2000\n")
+	f.Add("# comment\n\nr 0x0\n")
+	f.Add("X 0x10\n")
+	f.Add("R zz\n")
+	f.Add("R 0x1 tail\n")
+	f.Add(strings.Repeat("W 0xffffffffffff0\n", 3))
+	f.Fuzz(func(t *testing.T, input string) {
+		h, err := sim.NewHierarchy(sim.TableIConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := replay(h, strings.NewReader(input))
+		if err != nil {
+			return // malformed input is rejected, fine
+		}
+		if n < 0 {
+			t.Fatalf("negative access count %d", n)
+		}
+		if got := h.LevelStats(0).Accesses(); got != uint64(n) {
+			t.Fatalf("replayed %d accesses but L1 saw %d", n, got)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+// Command llcsim replays a memory-access trace (tracegen's format: one
+// "R 0x<addr>" or "W 0x<addr>" per line on stdin, or a file) through the
+// Table I cache hierarchy and reports per-level statistics plus the
+// extrapolated continuous-operation LLC traffic the paper plots benchmarks
+// by.
+//
+//	tracegen -bench mcf -n 500000 | llcsim -bench mcf
+//	llcsim -trace mcf.trace -copies 8
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"coldtall/internal/report"
+	"coldtall/internal/sim"
+	"coldtall/internal/trace"
+	"coldtall/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "llcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("llcsim", flag.ContinueOnError)
+	tracePath := fs.String("trace", "-", "trace file path, or - for stdin")
+	copies := fs.Int("copies", 8, "SPECrate copies sharing the LLC")
+	bench := fs.String("bench", "", "benchmark profile for time extrapolation (IPC, memory intensity); empty reports counts only")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = stdin
+	if *tracePath != "-" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	cfg := sim.TableIConfig()
+	cfg.SharedCopies = *copies
+	h, err := sim.NewHierarchy(cfg)
+	if err != nil {
+		return err
+	}
+
+	n, err := replay(h, r)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(fmt.Sprintf("llcsim: %d accesses through the Table I hierarchy", n),
+		"level", "reads", "writes", "read miss", "write miss", "writebacks", "miss rate")
+	for i := 0; i < h.Levels(); i++ {
+		s := h.LevelStats(i)
+		t.AddRow(h.LevelName(i),
+			fmt.Sprintf("%d", s.Reads), fmt.Sprintf("%d", s.Writes),
+			fmt.Sprintf("%d", s.ReadMisses), fmt.Sprintf("%d", s.WriteMisses),
+			fmt.Sprintf("%d", s.Writebacks), fmt.Sprintf("%.4f", s.MissRate()))
+	}
+	memR, memW := h.MemoryTraffic()
+	t.AddRow("memory", fmt.Sprintf("%d", memR), fmt.Sprintf("%d", memW), "-", "-", "-", "-")
+	if err := t.Render(stdout); err != nil {
+		return err
+	}
+
+	if *bench == "" {
+		return nil
+	}
+	p, err := workload.ProfileByName(*bench)
+	if err != nil {
+		return err
+	}
+	llc := h.LLCStats()
+	instructions := float64(n) * 1000 / p.MemOpsPerKiloInstr
+	seconds := instructions / p.IPC / workload.FrequencyHz
+	fmt.Fprintf(stdout, "\nextrapolated continuous-operation LLC traffic (%d copies at %.0f GHz, %s-class core):\n",
+		*copies, workload.FrequencyHz/1e9, p.Name)
+	fmt.Fprintf(stdout, "  reads/s  = %.3g\n", float64(llc.Reads)/seconds*float64(*copies))
+	fmt.Fprintf(stdout, "  writes/s = %.3g\n", float64(llc.Writes)/seconds*float64(*copies))
+	return nil
+}
+
+// replay feeds the hierarchy from the textual trace format.
+func replay(h *sim.Hierarchy, r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return n, fmt.Errorf("line %d: want \"R|W 0xADDR\", got %q", n+1, line)
+		}
+		var write bool
+		switch fields[0] {
+		case "R", "r":
+		case "W", "w":
+			write = true
+		default:
+			return n, fmt.Errorf("line %d: unknown access kind %q", n+1, fields[0])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			return n, fmt.Errorf("line %d: bad address %q: %w", n+1, fields[1], err)
+		}
+		h.Access(trace.Access{Addr: addr, Write: write})
+		n++
+	}
+	return n, sc.Err()
+}

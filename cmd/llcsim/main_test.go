@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"coldtall/internal/sim"
+)
+
+func TestReplayParsesTraceFormat(t *testing.T) {
+	h, err := sim.NewHierarchy(sim.TableIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader("R 0x1000\nW 0x2000\n# comment\n\nr 0x3000\nw 0x4000\n")
+	n, err := replay(h, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("replayed %d accesses, want 4", n)
+	}
+	s := h.LevelStats(0)
+	if s.Reads != 2 || s.Writes != 2 {
+		t.Errorf("L1 saw %d reads %d writes, want 2/2", s.Reads, s.Writes)
+	}
+}
+
+func TestReplayRejectsMalformedLines(t *testing.T) {
+	h, _ := sim.NewHierarchy(sim.TableIConfig())
+	cases := []string{
+		"R\n",           // missing address
+		"X 0x10\n",      // unknown kind
+		"R 0xzz\n",      // bad hex
+		"R 0x1 extra\n", // too many fields
+	}
+	for _, in := range cases {
+		if _, err := replay(h, strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", strings.TrimSpace(in))
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	in := strings.NewReader("R 0x1000\nW 0x1000\nR 0x200000\n")
+	var out strings.Builder
+	if err := run([]string{"-copies", "8", "-bench", "leela"}, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	o := out.String()
+	for _, want := range []string{"L1D", "LLC", "memory", "extrapolated", "reads/s"} {
+		if !strings.Contains(o, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunWithoutBenchSkipsExtrapolation(t *testing.T) {
+	in := strings.NewReader("R 0x1000\n")
+	var out strings.Builder
+	if err := run(nil, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "extrapolated") {
+		t.Error("extrapolation should require -bench")
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	in := strings.NewReader("R 0x1000\n")
+	var out strings.Builder
+	if err := run([]string{"-bench", "doom"}, in, &out); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestRunRejectsMissingTraceFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-trace", "/nonexistent/file"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing trace file should fail")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// FuzzParseSize hardens the size parser: any string must parse to a
+// positive size or error — never panic, never overflow to zero.
+func FuzzParseSize(f *testing.F) {
+	f.Add("64MiB")
+	f.Add("512KiB")
+	f.Add("2GiB")
+	f.Add("4096")
+	f.Add("MiB")
+	f.Add("-1KiB")
+	f.Add("999999999999GiB")
+	f.Fuzz(func(t *testing.T, input string) {
+		v, err := parseSize(input)
+		if err != nil {
+			return
+		}
+		if v == 0 {
+			t.Fatalf("parseSize(%q) = 0 without error", input)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+// Command tracegen emits a synthetic memory-access trace for one of the 23
+// SPECrate 2017 benchmark stand-ins (or a raw generator) as text, one
+// access per line: "R 0x<addr>" or "W 0x<addr>". The output feeds llcsim or
+// any external cache simulator.
+//
+//	tracegen -bench mcf -n 100000 -seed 42
+//	tracegen -pattern stream -ws 64MiB -writefrac 0.3 -n 1000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"coldtall/internal/trace"
+	"coldtall/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark profile name (e.g. mcf, povray); empty for -pattern mode")
+	pattern := fs.String("pattern", "chase", "raw mode: stream, chase, chain, or zipf")
+	ws := fs.String("ws", "64MiB", "raw mode: working set size (e.g. 512KiB, 64MiB)")
+	writeFrac := fs.Float64("writefrac", 0.3, "raw mode: store fraction")
+	skew := fs.Float64("skew", 1.4, "raw mode: zipf skew (>1)")
+	n := fs.Int("n", 100000, "number of accesses to emit")
+	seed := fs.Int64("seed", 1, "PRNG seed")
+	list := fs.Bool("list", false, "list available benchmark profiles and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, p := range workload.Profiles() {
+			fmt.Fprintf(out, "%-12s %-8s %s\n", p.Name, p.Suite, p.Description)
+		}
+		return nil
+	}
+
+	var gen trace.Generator
+	var err error
+	if *bench != "" {
+		p, perr := workload.ProfileByName(*bench)
+		if perr != nil {
+			return perr
+		}
+		gen, err = p.Generator(*seed)
+	} else {
+		size, perr := parseSize(*ws)
+		if perr != nil {
+			return perr
+		}
+		region := trace.Region{Base: 1 << 30, Size: size}
+		switch *pattern {
+		case "stream":
+			gen, err = trace.NewStream(region, 1, *writeFrac, *seed)
+		case "chase":
+			gen, err = trace.NewPointerChase(region, *writeFrac, *seed)
+		case "zipf":
+			gen, err = trace.NewZipf(region, *skew, *writeFrac, *seed)
+		case "chain":
+			gen, err = trace.NewChain(region, *writeFrac, *seed)
+		default:
+			return fmt.Errorf("unknown pattern %q", *pattern)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for i := 0; i < *n; i++ {
+		a := gen.Next()
+		kind := byte('R')
+		if a.Write {
+			kind = 'W'
+		}
+		if _, err := fmt.Fprintf(w, "%c 0x%x\n", kind, a.Addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseSize accepts "4096", "512KiB", "64MiB", "2GiB".
+func parseSize(s string) (uint64, error) {
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	if v == 0 {
+		return 0, fmt.Errorf("size must be positive")
+	}
+	if v > (1<<62)/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]uint64{
+		"4096":   4096,
+		"512KiB": 512 << 10,
+		"64MiB":  64 << 20,
+		"2GiB":   2 << 30,
+		" 8 KiB": 8 << 10, // surrounding whitespace is tolerated
+		"1TiB":   0,       // unknown suffix leaves a non-numeric string
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if want == 0 {
+			if err == nil {
+				t.Errorf("parseSize(%q) should fail", in)
+			}
+			continue
+		}
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if _, err := parseSize("abcMiB"); err == nil {
+		t.Error("non-numeric size should fail")
+	}
+}
+
+func TestRunListsProfiles(t *testing.T) {
+	if err := run([]string{"-list"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	if err := run([]string{"-bench", "doom", "-n", "1"}, io.Discard); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestRunRejectsUnknownPattern(t *testing.T) {
+	if err := run([]string{"-pattern", "spiral", "-n", "1"}, io.Discard); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+}
+
+func TestRunEmitsBenchTrace(t *testing.T) {
+	if err := run([]string{"-bench", "leela", "-n", "10"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEmitsRawPatterns(t *testing.T) {
+	for _, p := range []string{"stream", "chase", "zipf"} {
+		if err := run([]string{"-pattern", p, "-ws", "1MiB", "-n", "5"}, io.Discard); err != nil {
+			t.Errorf("pattern %s: %v", p, err)
+		}
+	}
+}
+
+func TestRunEmitsParsableLines(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-pattern", "chain", "-ws", "1MiB", "-n", "20"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("emitted %d lines, want 20", len(lines))
+	}
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || (fields[0] != "R" && fields[0] != "W") || !strings.HasPrefix(fields[1], "0x") {
+			t.Fatalf("malformed line %q", line)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package coldtall
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"coldtall/internal/cell"
+	"coldtall/internal/cryo"
+	"coldtall/internal/explorer"
+	"coldtall/internal/stack"
+	"coldtall/internal/workload"
+)
+
+// StudyConfig is the JSON schema of a user-defined study, mirroring
+// NVMExplorer's config-file-driven flow: a set of design points (circuit
+// and system choices) crossed with a set of workloads (application
+// characteristics), evaluated under a cooling environment.
+//
+//	{
+//	  "cooler": "100kW",
+//	  "points": [
+//	    {"label": "my cold cache", "technology": "3T-eDRAM", "temperature_k": 77},
+//	    {"technology": "PCM", "corner": "optimistic", "dies": 8}
+//	  ],
+//	  "workloads": [
+//	    {"benchmark": "mcf"},
+//	    {"name": "my service", "reads_per_sec": 2e6, "writes_per_sec": 5e5},
+//	    {"benchmark": "leela", "simulate": true}
+//	  ]
+//	}
+type StudyConfig struct {
+	// Cooler selects the cryocooler class ("100kW", "1kW", "100W",
+	// "10W"); empty means the paper's default 100 kW.
+	Cooler string `json:"cooler,omitempty"`
+	// Points are the LLC design points to evaluate.
+	Points []PointConfig `json:"points"`
+	// Workloads are the traffic loads to evaluate them under.
+	Workloads []WorkloadConfig `json:"workloads"`
+}
+
+// PointConfig describes one design point in JSON form.
+type PointConfig struct {
+	// Label is optional; a descriptive one is generated when empty.
+	Label string `json:"label,omitempty"`
+	// Technology is one of SRAM, 3T-eDRAM, 1T1C-eDRAM, PCM, STT-RAM,
+	// RRAM, SOT-RAM.
+	Technology string `json:"technology"`
+	// Corner selects the eNVM tentpole ("optimistic"/"pessimistic");
+	// ignored for the volatile technologies. Empty means optimistic.
+	Corner string `json:"corner,omitempty"`
+	// TemperatureK defaults to 350.
+	TemperatureK float64 `json:"temperature_k,omitempty"`
+	// Dies defaults to 1; Style to "tsv".
+	Dies  int    `json:"dies,omitempty"`
+	Style string `json:"style,omitempty"`
+	// CapacityMiB overrides the 16 MiB LLC capacity.
+	CapacityMiB int64 `json:"capacity_mib,omitempty"`
+}
+
+// WorkloadConfig describes one workload in JSON form: either a SPEC
+// benchmark name (static rates, or simulated when Simulate is set) or
+// custom rates.
+type WorkloadConfig struct {
+	// Benchmark names a SPEC stand-in; empty means custom rates.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Simulate measures the benchmark through the cache simulator
+	// instead of using the static table.
+	Simulate bool `json:"simulate,omitempty"`
+	// Name labels a custom workload.
+	Name string `json:"name,omitempty"`
+	// ReadsPerSec / WritesPerSec define custom LLC traffic.
+	ReadsPerSec  float64 `json:"reads_per_sec,omitempty"`
+	WritesPerSec float64 `json:"writes_per_sec,omitempty"`
+}
+
+// LoadStudyConfig parses and validates a JSON study description.
+func LoadStudyConfig(r io.Reader) (StudyConfig, error) {
+	var cfg StudyConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return StudyConfig{}, fmt.Errorf("coldtall: parsing study config: %w", err)
+	}
+	if len(cfg.Points) == 0 {
+		return StudyConfig{}, fmt.Errorf("coldtall: study config needs at least one point")
+	}
+	if len(cfg.Workloads) == 0 {
+		return StudyConfig{}, fmt.Errorf("coldtall: study config needs at least one workload")
+	}
+	return cfg, nil
+}
+
+// point lowers a PointConfig into an explorer design point.
+func (pc PointConfig) point() (explorer.DesignPoint, error) {
+	tech, err := cell.ParseTechnology(pc.Technology)
+	if err != nil {
+		return explorer.DesignPoint{}, err
+	}
+	var c cell.Cell
+	switch tech {
+	case cell.SRAM, cell.EDRAM3T, cell.EDRAM1T1C:
+		c, err = cell.Builtin(tech)
+	default:
+		corner := cell.Optimistic
+		switch pc.Corner {
+		case "", "optimistic":
+		case "pessimistic":
+			corner = cell.Pessimistic
+		default:
+			return explorer.DesignPoint{}, fmt.Errorf("coldtall: unknown corner %q", pc.Corner)
+		}
+		c, err = cell.Tentpole(tech, corner)
+	}
+	if err != nil {
+		return explorer.DesignPoint{}, err
+	}
+	temp := pc.TemperatureK
+	if temp == 0 {
+		temp = 350
+	}
+	dies := pc.Dies
+	if dies == 0 {
+		dies = 1
+	}
+	styleName := pc.Style
+	if styleName == "" {
+		styleName = "tsv"
+	}
+	style, err := stack.ParseStyle(styleName)
+	if err != nil {
+		return explorer.DesignPoint{}, err
+	}
+	label := pc.Label
+	if label == "" {
+		label = fmt.Sprintf("%d-die %s @%.0fK", dies, c.Name, temp)
+	}
+	p := explorer.DesignPoint{
+		Label:       label,
+		Cell:        c,
+		Temperature: temp,
+		Dies:        dies,
+		Style:       style,
+	}
+	if pc.CapacityMiB > 0 {
+		p.CapacityBytes = pc.CapacityMiB << 20
+	}
+	return p, p.Validate()
+}
+
+// traffic lowers a WorkloadConfig into traffic rates.
+func (wc WorkloadConfig) traffic() (workload.Traffic, error) {
+	if wc.Benchmark != "" {
+		if wc.Simulate {
+			p, err := workload.ProfileByName(wc.Benchmark)
+			if err != nil {
+				return workload.Traffic{}, err
+			}
+			return workload.Measure(p, 400000, 42)
+		}
+		return workload.StaticTrafficFor(wc.Benchmark)
+	}
+	if wc.ReadsPerSec <= 0 && wc.WritesPerSec <= 0 {
+		return workload.Traffic{}, fmt.Errorf("coldtall: workload needs a benchmark or positive rates")
+	}
+	name := wc.Name
+	if name == "" {
+		name = "custom"
+	}
+	tr := workload.Traffic{Benchmark: name, ReadsPerSec: wc.ReadsPerSec, WritesPerSec: wc.WritesPerSec}
+	return tr, tr.Validate()
+}
+
+// RunConfig evaluates a study config: every point under every workload,
+// normalized to the paper's baseline, exactly like the built-in figures.
+func RunConfig(cfg StudyConfig) ([]TrafficRow, error) {
+	cooling := cryo.DefaultCooling()
+	if cfg.Cooler != "" {
+		found := false
+		for _, cls := range cryo.Classes() {
+			if cls.String() == cfg.Cooler {
+				cooling.Class = cls
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("coldtall: unknown cooler %q", cfg.Cooler)
+		}
+	}
+	s, err := NewStudyWithCooling(cooling)
+	if err != nil {
+		return nil, err
+	}
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	var rows []TrafficRow
+	for _, pc := range cfg.Points {
+		p, err := pc.point()
+		if err != nil {
+			return nil, err
+		}
+		for _, wc := range cfg.Workloads {
+			tr, err := wc.traffic()
+			if err != nil {
+				return nil, err
+			}
+			ev, err := s.exp.Evaluate(p, tr)
+			if err != nil {
+				return nil, err
+			}
+			rel := explorer.Normalize(ev, base)
+			rows = append(rows, TrafficRow{
+				Label:          p.Label,
+				Cell:           p.Cell.Tech.String(),
+				TemperatureK:   p.Temperature,
+				Dies:           p.Dies,
+				Benchmark:      tr.Benchmark,
+				ReadsPerSec:    tr.ReadsPerSec,
+				WritesPerSec:   tr.WritesPerSec,
+				RelDevicePower: rel.RelDevicePower,
+				RelTotalPower:  rel.RelPower,
+				RelLatency:     rel.RelLatency,
+				Slowdown:       ev.Slowdown,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RunConfigAndRender evaluates a study config and prints the result table.
+func RunConfigAndRender(r io.Reader, w io.Writer) error {
+	cfg, err := LoadStudyConfig(r)
+	if err != nil {
+		return err
+	}
+	rows, err := RunConfig(cfg)
+	if err != nil {
+		return err
+	}
+	return renderTraffic(w, "Custom study (relative to 350K 1-die SRAM on namd)", rows, false)
+}

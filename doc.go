@@ -1,0 +1,35 @@
+// Package coldtall is a from-scratch Go reproduction of "Is the Future Cold
+// or Tall? Design Space Exploration of Cryogenic and 3D Embedded Cache
+// Memory" (Hankin, Pentecost, Min, Brooks, Wei — ISPASS 2023).
+//
+// The paper asks which technology lever improves a CPU's 16 MiB last-level
+// cache the most: cooling conventional SRAM / 3T-eDRAM down to 77 K
+// (cryogenic operation), or stacking embedded non-volatile memories (PCM,
+// STT-RAM, RRAM) into 3D dies at room temperature — and shows the answer
+// depends on the workload's LLC traffic.
+//
+// This module rebuilds the paper's entire tool stack in pure Go, stdlib
+// only:
+//
+//   - internal/tech: temperature-dependent device and wire physics
+//     (Bloch–Grüneisen wire resistivity, subthreshold leakage collapse at
+//     77 K) — the CryoMEM substrate.
+//   - internal/cell: bit-cell models and a published-style eNVM survey
+//     database with NVMExplorer's "tentpole" optimistic/pessimistic
+//     extrema.
+//   - internal/array + internal/stack: a CACTI/NVSim/Destiny-class
+//     analytical array model with organization search and 3D stacking.
+//   - internal/trace + internal/sim + internal/workload: synthetic SPECrate
+//     CPU2017 stand-ins replayed through a Table-I cache hierarchy — the
+//     Sniper substrate.
+//   - internal/cryo: cryocooler overhead (9.65x at 100 kW down to 39.6x at
+//     10 W) and LN-bath thermal budget.
+//   - internal/explorer: the NVMExplorer-style cross-stack design-space
+//     exploration engine.
+//
+// Package coldtall itself is the study facade: Study regenerates every
+// figure and table of the paper's evaluation (Figs. 1, 3-7; Tables I, II;
+// the cooling-overhead sensitivity), each normalized to 350 K SRAM exactly
+// as the paper normalizes. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-reproduction numbers.
+package coldtall

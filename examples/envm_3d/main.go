@@ -1,0 +1,115 @@
+// envm_3d walks the 3D eNVM design space the way a cache architect would:
+// it characterizes every (technology, tentpole corner, die count) point,
+// prints the Fig. 6-style array landscape, then picks winners per design
+// target and checks their endurance-limited lifetime under a chosen
+// workload mix.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+
+	"coldtall"
+	"coldtall/internal/explorer"
+	"coldtall/internal/report"
+	"coldtall/internal/workload"
+)
+
+func main() {
+	study := coldtall.NewStudy()
+	exp := study.Explorer()
+
+	points, err := explorer.ENVMSweep()
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := exp.Characterize(explorer.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The array landscape, relative to 1-die SRAM (Fig. 6).
+	t := report.NewTable("3D eNVM array landscape at 350K (relative to 1-die SRAM)",
+		"design point", "area", "rd lat", "wr lat", "rd E/acc", "wr E/acc", "leakage")
+	for _, p := range points {
+		r, err := exp.Characterize(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(p.Label,
+			report.Rel(r.FootprintM2/base.FootprintM2),
+			report.Rel(r.ReadLatency/base.ReadLatency),
+			report.Rel(r.WriteLatency/base.WriteLatency),
+			report.Rel(r.ReadEnergy/base.ReadEnergy),
+			report.Rel(r.WriteEnergy/base.WriteEnergy),
+			report.Rel(r.LeakagePower/base.LeakagePower))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Winners per design target, with lifetimes under a mixed workload.
+	tr, err := workload.StaticTrafficFor("omnetpp") // a busy, write-bearing benchmark
+	if err != nil {
+		log.Fatal(err)
+	}
+	type row struct {
+		label    string
+		power    float64
+		latency  float64
+		area     float64
+		lifetime float64
+	}
+	var rows []row
+	for _, p := range points {
+		ev, err := exp.Evaluate(p, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{
+			label:    p.Label,
+			power:    ev.TotalPower,
+			latency:  ev.AggregateLatency,
+			area:     ev.Array.FootprintM2,
+			lifetime: ev.LifetimeYears,
+		})
+	}
+	pick := func(metric func(row) float64) row {
+		best := rows[0]
+		for _, r := range rows[1:] {
+			if metric(r) < metric(best) {
+				best = r
+			}
+		}
+		return best
+	}
+	w := report.NewTable(fmt.Sprintf("Winners under %s traffic (%.3g reads/s, %.3g writes/s)",
+		tr.Benchmark, tr.ReadsPerSec, tr.WritesPerSec),
+		"target", "winner", "value", "lifetime")
+	p := pick(func(r row) float64 { return r.power })
+	w.AddRow("power", p.label, report.Eng(p.power, "W"), years(p.lifetime))
+	l := pick(func(r row) float64 { return r.latency })
+	w.AddRow("performance", l.label, fmt.Sprintf("%.4g", l.latency), years(l.lifetime))
+	a := pick(func(r row) float64 { return r.area })
+	w.AddRow("area", a.label, report.Area(a.area), years(a.lifetime))
+	if err := w.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Lifetime ranking: which points survive a decade of this traffic?
+	sort.Slice(rows, func(i, j int) bool { return rows[i].lifetime < rows[j].lifetime })
+	fmt.Println("\nshortest-lived points under this write stream:")
+	for _, r := range rows[:5] {
+		fmt.Printf("  %-28s %s\n", r.label, years(r.lifetime))
+	}
+}
+
+func years(v float64) string {
+	if math.IsInf(v, 1) {
+		return "no wear-out"
+	}
+	return fmt.Sprintf("%.1f years", v)
+}

@@ -1,0 +1,154 @@
+// llc_designer is the downstream-user scenario: you know (or can measure)
+// your application's LLC traffic, and want a technology recommendation.
+//
+// It accepts read/write rates on the command line, classifies the workload
+// into the paper's traffic bands, measures its own synthetic stand-in
+// through the cache simulator when a known benchmark name is given, and
+// recommends an LLC per design target under a chosen cooling environment —
+// i.e., it answers the paper's title question for *your* workload.
+//
+//	llc_designer -reads 2e6 -writes 5e5
+//	llc_designer -bench omnetpp -cooler 100W
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"coldtall"
+	"coldtall/internal/cryo"
+	"coldtall/internal/explorer"
+	"coldtall/internal/report"
+	"coldtall/internal/workload"
+)
+
+func main() {
+	reads := flag.Float64("reads", 0, "LLC read accesses per second")
+	writes := flag.Float64("writes", 0, "LLC write accesses per second")
+	bench := flag.String("bench", "", "or: a SPEC benchmark name, simulated to obtain rates")
+	cooler := flag.String("cooler", "100kW", "cryocooler class: 100kW, 1kW, 100W, 10W")
+	flag.Parse()
+
+	tr, err := resolveTraffic(*bench, *reads, *writes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cooling, err := parseCooler(*cooler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	study, err := coldtall.NewStudyWithCooling(cooling)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp := study.Explorer()
+
+	band := workload.BandOf(tr.ReadsPerSec)
+	fmt.Printf("workload: %.3g reads/s, %.3g writes/s -> %s traffic band\n",
+		tr.ReadsPerSec, tr.WritesPerSec, band)
+	fmt.Printf("cooling:  %s-class cryocooler (%.2f W/W below 200 K)\n\n",
+		cooling.Class, cooling.Class.Overhead())
+
+	points, err := explorer.TableIICandidates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var evals []explorer.Evaluation
+	for _, p := range points {
+		ev, err := exp.Evaluate(p, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evals = append(evals, ev)
+	}
+
+	recommend := func(name string, metric func(explorer.Evaluation) float64) {
+		best := evals[0]
+		for _, ev := range evals[1:] {
+			if metric(ev) < metric(best) {
+				best = ev
+			}
+		}
+		note := ""
+		if best.LifetimeYears < explorer.EnduranceThresholdYears {
+			note = fmt.Sprintf("  [endurance: %.1f years under this write stream]", best.LifetimeYears)
+		}
+		if best.Slowdown {
+			note += "  [warning: slower than the 350K SRAM baseline]"
+		}
+		value := report.Eng(metric(best), unitOf(name))
+		if name == "area" {
+			value = report.Area(metric(best))
+		}
+		fmt.Printf("  %-12s %-26s %s%s\n", name, best.Point.Label, value, note)
+	}
+	fmt.Println("recommendations:")
+	recommend("power", func(ev explorer.Evaluation) float64 { return ev.TotalPower })
+	recommend("performance", func(ev explorer.Evaluation) float64 { return ev.AggregateLatency })
+	recommend("area", func(ev explorer.Evaluation) float64 { return ev.Array.FootprintM2 })
+
+	// Show the full power ranking for context.
+	fmt.Println("\nfull power ranking (total LLC power including cooling):")
+	t := report.NewTable("", "design point", "total power", "rel latency", "lifetime")
+	base, err := exp.Evaluate(explorer.Baseline(), tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < len(evals); i++ {
+		for j := i + 1; j < len(evals); j++ {
+			if evals[j].TotalPower < evals[i].TotalPower {
+				evals[i], evals[j] = evals[j], evals[i]
+			}
+		}
+	}
+	for _, ev := range evals {
+		life := "no wear-out"
+		if !math.IsInf(ev.LifetimeYears, 1) {
+			life = fmt.Sprintf("%.1f years", ev.LifetimeYears)
+		}
+		t.AddRow(ev.Point.Label, report.Eng(ev.TotalPower, "W"),
+			report.Rel(ev.AggregateLatency/base.AggregateLatency), life)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func resolveTraffic(bench string, reads, writes float64) (workload.Traffic, error) {
+	if bench != "" {
+		p, err := workload.ProfileByName(bench)
+		if err != nil {
+			return workload.Traffic{}, err
+		}
+		fmt.Printf("simulating %s through the Table I hierarchy...\n", bench)
+		return workload.Measure(p, 400000, 42)
+	}
+	if reads <= 0 {
+		return workload.Traffic{}, fmt.Errorf("provide -reads/-writes or -bench")
+	}
+	return workload.Traffic{Benchmark: "custom", ReadsPerSec: reads, WritesPerSec: writes}, nil
+}
+
+func parseCooler(s string) (cryo.Cooling, error) {
+	for _, c := range cryo.Classes() {
+		if c.String() == s {
+			return cryo.Cooling{Class: c, ThresholdK: 200}, nil
+		}
+	}
+	return cryo.Cooling{}, fmt.Errorf("unknown cooler class %q", s)
+}
+
+func unitOf(target string) string {
+	switch target {
+	case "performance":
+		return "s/s"
+	case "area":
+		return "m2"
+	default:
+		return "W"
+	}
+}

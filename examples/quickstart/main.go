@@ -1,0 +1,59 @@
+// Quickstart: characterize one LLC design point, evaluate it under a
+// benchmark's traffic, and compare it to the paper's 350 K SRAM baseline —
+// the minimal end-to-end use of the coldtall API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coldtall"
+	"coldtall/internal/explorer"
+	"coldtall/internal/report"
+	"coldtall/internal/tech"
+	"coldtall/internal/workload"
+)
+
+func main() {
+	study := coldtall.NewStudy()
+	exp := study.Explorer()
+
+	// The design point under evaluation: the paper's favourite cryogenic
+	// option, 3T-eDRAM at 77 K.
+	point := explorer.EDRAMAt(tech.TempCryo77)
+
+	// Array-level characterization (the Destiny/CryoMEM layer).
+	arr, err := exp.Characterize(point)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s array: read %s, write %s, leakage %s, footprint %s\n",
+		point.Label,
+		report.Eng(arr.ReadLatency, "s"), report.Eng(arr.WriteLatency, "s"),
+		report.Eng(arr.LeakagePower, "W"), report.Area(arr.FootprintM2))
+
+	// Application-level evaluation under leela's LLC traffic (the
+	// NVMExplorer layer), including the 9.65x cryocooler.
+	tr, err := workload.StaticTrafficFor("leela")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := exp.Evaluate(point, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := exp.BaselineEvaluation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := explorer.Normalize(ev, base)
+
+	fmt.Printf("under %s traffic (%.3g reads/s, %.3g writes/s):\n",
+		tr.Benchmark, tr.ReadsPerSec, tr.WritesPerSec)
+	fmt.Printf("  device power   %s\n", report.Eng(ev.DevicePower, "W"))
+	fmt.Printf("  cooling power  %s\n", report.Eng(ev.CoolingPower, "W"))
+	fmt.Printf("  total power    %s (%.4gx the 350K SRAM baseline)\n",
+		report.Eng(ev.TotalPower, "W"), rel.RelPower)
+	fmt.Printf("  total latency  %.3gx the baseline, slowdown=%v\n",
+		rel.RelLatency, ev.Slowdown)
+}

@@ -1,0 +1,277 @@
+package coldtall
+
+import (
+	"strings"
+
+	"coldtall/internal/cell"
+	"coldtall/internal/cryo"
+	"coldtall/internal/explorer"
+	"coldtall/internal/tech"
+	"coldtall/internal/workload"
+)
+
+// Fig1Row is one temperature point of Fig. 1: total LLC power of a
+// simulated client CPU running SPEC2017.namd between 77 K and 387 K,
+// relative to SRAM at 350 K.
+type Fig1Row struct {
+	// TemperatureK is the operating temperature.
+	TemperatureK float64
+	// RelDevicePower is LLC power without cooling, relative to 350 K.
+	RelDevicePower float64
+	// RelTotalPower includes the 9.65x cryocooler overhead below 200 K.
+	RelTotalPower float64
+}
+
+// Fig1 regenerates Fig. 1.
+func (s *Study) Fig1() ([]Fig1Row, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trafficFor(explorer.ReferenceBenchmark)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig1Row
+	for _, temp := range cryo.EffectiveTemperatures() {
+		ev, err := s.exp.Evaluate(explorer.SRAMAt(temp), tr)
+		if err != nil {
+			return nil, err
+		}
+		rel := explorer.Normalize(ev, base)
+		rows = append(rows, Fig1Row{
+			TemperatureK:   temp,
+			RelDevicePower: rel.RelDevicePower,
+			RelTotalPower:  rel.RelPower,
+		})
+	}
+	return rows, nil
+}
+
+// Fig3Row is one (cell, temperature) point of Fig. 3: array-level
+// characterization of 16 MB iso-capacity SRAM and 3T-eDRAM under varying
+// temperature, relative to SRAM at 350 K.
+type Fig3Row struct {
+	// Cell names the technology ("SRAM" or "3T-eDRAM").
+	Cell string
+	// TemperatureK is the operating temperature.
+	TemperatureK float64
+	// Array-level ratios vs the 350 K SRAM array.
+	RelReadLatency, RelWriteLatency  float64
+	RelReadEnergy, RelWriteEnergy    float64
+	RelLeakagePower, RelRefreshPower float64
+	// RetentionS is the absolute eDRAM retention (Inf for SRAM).
+	RetentionS float64
+}
+
+// Fig3 regenerates Fig. 3.
+func (s *Study) Fig3() ([]Fig3Row, error) {
+	baseArr, err := s.exp.Characterize(explorer.Baseline())
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig3Row
+	for _, temp := range cryo.EffectiveTemperatures() {
+		for _, mk := range []func(float64) explorer.DesignPoint{explorer.SRAMAt, explorer.EDRAMAt} {
+			p := mk(temp)
+			r, err := s.exp.Characterize(p)
+			if err != nil {
+				return nil, err
+			}
+			relRefresh := 0.0
+			if baseArr.LeakagePower > 0 {
+				relRefresh = r.RefreshPower / baseArr.LeakagePower
+			}
+			rows = append(rows, Fig3Row{
+				Cell:            p.Cell.Tech.String(),
+				TemperatureK:    temp,
+				RelReadLatency:  r.ReadLatency / baseArr.ReadLatency,
+				RelWriteLatency: r.WriteLatency / baseArr.WriteLatency,
+				RelReadEnergy:   r.ReadEnergyPerBit / baseArr.ReadEnergyPerBit,
+				RelWriteEnergy:  r.WriteEnergyPerBit / baseArr.WriteEnergyPerBit,
+				RelLeakagePower: r.LeakagePower / baseArr.LeakagePower,
+				RelRefreshPower: relRefresh,
+				RetentionS:      r.Retention,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig4Row is one (benchmark, cell) group of Fig. 4: total LLC power at
+// 350 K, at 77 K, and at 77 K including cooling, relative to 350 K SRAM
+// running namd.
+type Fig4Row struct {
+	Benchmark string
+	Cell      string
+	// Relative total LLC power for the three operating conditions.
+	Rel350K, Rel77K, Rel77KCooled float64
+}
+
+// Fig4 regenerates Fig. 4 (namd and leela).
+func (s *Study) Fig4() ([]Fig4Row, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig4Row
+	for _, bench := range []string{"namd", "leela"} {
+		tr, err := trafficFor(bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, mk := range []func(float64) explorer.DesignPoint{explorer.SRAMAt, explorer.EDRAMAt} {
+			warm, err := s.exp.Evaluate(mk(tech.TempHot350), tr)
+			if err != nil {
+				return nil, err
+			}
+			cold, err := s.exp.Evaluate(mk(tech.TempCryo77), tr)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig4Row{
+				Benchmark:    bench,
+				Cell:         warm.Point.Cell.Tech.String(),
+				Rel350K:      warm.DevicePower / base.TotalPower,
+				Rel77K:       cold.DevicePower / base.TotalPower,
+				Rel77KCooled: cold.TotalPower / base.TotalPower,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// TrafficRow is one (design point, benchmark) point of the Fig. 5 / Fig. 7
+// scatter plots: traffic on the X axis, relative power and latency on Y.
+type TrafficRow struct {
+	// Label names the design point.
+	Label string
+	// Cell, TemperatureK, Dies identify it.
+	Cell         string
+	TemperatureK float64
+	Dies         int
+	// Benchmark and its traffic rates.
+	Benchmark    string
+	ReadsPerSec  float64
+	WritesPerSec float64
+	// RelDevicePower and RelTotalPower are vs 350 K SRAM running namd
+	// (the paper's reference normalization); RelLatency likewise.
+	RelDevicePower float64
+	RelTotalPower  float64
+	RelLatency     float64
+	// Slowdown is the paper's performance check: relative total latency
+	// above 1 versus 350 K SRAM on the same benchmark, or bandwidth
+	// shortfall.
+	Slowdown bool
+}
+
+// Fig5 regenerates Fig. 5: SRAM and 3T-eDRAM at 77 K and 350 K across the
+// full SPECrate 2017 suite.
+func (s *Study) Fig5() ([]TrafficRow, error) {
+	points := []explorer.DesignPoint{
+		explorer.SRAMAt(tech.TempHot350), explorer.EDRAMAt(tech.TempHot350),
+		explorer.SRAMAt(tech.TempCryo77), explorer.EDRAMAt(tech.TempCryo77),
+	}
+	return s.trafficStudy(points)
+}
+
+// Fig7 regenerates Fig. 7: the 2D/3D eNVM sweep (SRAM, PCM, STT-RAM, RRAM;
+// optimistic and pessimistic; 1-8 dies) at 350 K across the suite.
+func (s *Study) Fig7() ([]TrafficRow, error) {
+	points, err := explorer.ENVMSweep()
+	if err != nil {
+		return nil, err
+	}
+	return s.trafficStudy(points)
+}
+
+// trafficStudy evaluates points across the whole static suite, normalized
+// to the namd/350 K-SRAM baseline.
+func (s *Study) trafficStudy(points []explorer.DesignPoint) ([]TrafficRow, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	var rows []TrafficRow
+	for _, p := range points {
+		for _, tr := range workload.SortedByReads() {
+			ev, err := s.exp.Evaluate(p, tr)
+			if err != nil {
+				return nil, err
+			}
+			rel := explorer.Normalize(ev, base)
+			rows = append(rows, TrafficRow{
+				Label:          p.Label,
+				Cell:           p.Cell.Tech.String(),
+				TemperatureK:   p.Temperature,
+				Dies:           p.Dies,
+				Benchmark:      tr.Benchmark,
+				ReadsPerSec:    tr.ReadsPerSec,
+				WritesPerSec:   tr.WritesPerSec,
+				RelDevicePower: rel.RelDevicePower,
+				RelTotalPower:  rel.RelPower,
+				RelLatency:     rel.RelLatency,
+				Slowdown:       ev.Slowdown,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Row is one design point of Fig. 6: array-level characterization of 2D
+// and 3D eNVMs at 350 K relative to 16 MB 2D SRAM.
+type Fig6Row struct {
+	// Label names the point ("8-die PCM (optimistic)").
+	Label  string
+	Tech   string
+	Corner string
+	Dies   int
+	// Array-level ratios vs the 1-die 350 K SRAM array.
+	RelArea                         float64
+	RelReadEnergy, RelWriteEnergy   float64
+	RelReadLatency, RelWriteLatency float64
+	RelLeakagePower                 float64
+}
+
+// Fig6 regenerates Fig. 6.
+func (s *Study) Fig6() ([]Fig6Row, error) {
+	baseArr, err := s.exp.Characterize(explorer.Baseline())
+	if err != nil {
+		return nil, err
+	}
+	points, err := explorer.ENVMSweep()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig6Row
+	for _, p := range points {
+		r, err := s.exp.Characterize(p)
+		if err != nil {
+			return nil, err
+		}
+		// Corner is encoded in the tentpole cell name suffix; SRAM has
+		// no tentpole corner.
+		corner := ""
+		if p.Cell.Tech != cell.SRAM {
+			switch {
+			case strings.HasSuffix(p.Cell.Name, cell.Pessimistic.String()):
+				corner = cell.Pessimistic.String()
+			case strings.HasSuffix(p.Cell.Name, cell.Optimistic.String()):
+				corner = cell.Optimistic.String()
+			}
+		}
+		rows = append(rows, Fig6Row{
+			Label:           p.Label,
+			Tech:            p.Cell.Tech.String(),
+			Corner:          corner,
+			Dies:            p.Dies,
+			RelArea:         r.FootprintM2 / baseArr.FootprintM2,
+			RelReadEnergy:   r.ReadEnergyPerBit / baseArr.ReadEnergyPerBit,
+			RelWriteEnergy:  r.WriteEnergyPerBit / baseArr.WriteEnergyPerBit,
+			RelReadLatency:  r.ReadLatency / baseArr.ReadLatency,
+			RelWriteLatency: r.WriteLatency / baseArr.WriteLatency,
+			RelLeakagePower: r.LeakagePower / baseArr.LeakagePower,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,26 @@
+package coldtall
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadStudyConfig hardens the JSON study parser: arbitrary input must
+// parse into a validated config or return an error — never panic.
+func FuzzLoadStudyConfig(f *testing.F) {
+	f.Add(sampleConfig)
+	f.Add(`{}`)
+	f.Add(`{"points":[{"technology":"SRAM"}]}`)
+	f.Add(`{"points":[{"technology":"SRAM"}],"workloads":[{"benchmark":"mcf"}]}`)
+	f.Add(`{"points":[{"technology":"PCM","dies":-3}],"workloads":[{"reads_per_sec":-1}]}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := LoadStudyConfig(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(cfg.Points) == 0 || len(cfg.Workloads) == 0 {
+			t.Fatalf("accepted config without points/workloads: %q", input)
+		}
+	})
+}

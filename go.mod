@@ -1,0 +1,3 @@
+module coldtall
+
+go 1.22

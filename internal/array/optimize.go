@@ -1,0 +1,145 @@
+package array
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// search space for the organization sweep (CACTI's Ndwl/Ndbl/Nspd analogue).
+var (
+	searchRows = []int{128, 256, 512, 1024, 2048}
+	searchCols = []int{256, 512, 1024, 2048, 4096}
+	searchMux  = []int{1, 2, 4, 8, 16}
+	searchBank = []int{1, 2, 4, 8, 16, 32, 64}
+)
+
+// candidates enumerates the full organization search space.
+func candidates() []Organization {
+	out := make([]Organization, 0, SearchSpaceSize())
+	for _, banks := range searchBank {
+		for _, rows := range searchRows {
+			for _, cols := range searchCols {
+				for _, mux := range searchMux {
+					out = append(out, Organization{Banks: banks, Rows: rows, Cols: cols, ColumnMux: mux})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Optimize sweeps internal organizations and returns the characterization
+// of the best one under cfg.Target, mirroring the exhaustive organization
+// search CACTI/NVSim/Destiny perform per configuration. Candidates are
+// evaluated in parallel; the reduction is sequential over the fixed
+// enumeration order, so the result is deterministic.
+func Optimize(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	orgs := candidates()
+	results := make([]*Result, len(orgs))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(orgs) {
+		workers = len(orgs)
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if _, err := cfg.derive(orgs[i]); err != nil {
+					continue
+				}
+				r, err := Characterize(cfg, orgs[i])
+				if err != nil {
+					continue
+				}
+				results[i] = &r
+			}
+		}()
+	}
+	for i := range orgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var best Result
+	found := false
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if !found || r.objective(cfg.Target) < best.objective(cfg.Target) {
+			best = *r
+			found = true
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("array: no feasible organization for %s at %d B capacity",
+			cfg.Cell.Name, cfg.CapacityBytes)
+	}
+	return best, nil
+}
+
+// SearchSpaceSize returns the number of candidate organizations Optimize
+// enumerates (before feasibility filtering).
+func SearchSpaceSize() int {
+	return len(searchRows) * len(searchCols) * len(searchMux) * len(searchBank)
+}
+
+// Pareto returns all feasible organizations that are Pareto-optimal in
+// (read latency, mean access energy, footprint), sorted by read latency.
+// It exposes the design space the single-objective Optimize collapses.
+func Pareto(cfg Config) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var all []Result
+	for _, org := range candidates() {
+		if _, err := cfg.derive(org); err != nil {
+			continue
+		}
+		r, err := Characterize(cfg, org)
+		if err != nil {
+			continue
+		}
+		all = append(all, r)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("array: no feasible organization for %s", cfg.Cell.Name)
+	}
+	var front []Result
+	for i, a := range all {
+		dominated := false
+		for j, b := range all {
+			if i == j {
+				continue
+			}
+			if dominates(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, a)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].ReadLatency < front[j].ReadLatency })
+	return front, nil
+}
+
+// dominates reports whether a is at least as good as b on every objective
+// and strictly better on at least one.
+func dominates(a, b Result) bool {
+	ea := (a.ReadEnergy + a.WriteEnergy) / 2
+	eb := (b.ReadEnergy + b.WriteEnergy) / 2
+	ge := a.ReadLatency <= b.ReadLatency && ea <= eb && a.FootprintM2 <= b.FootprintM2
+	gt := a.ReadLatency < b.ReadLatency || ea < eb || a.FootprintM2 < b.FootprintM2
+	return ge && gt
+}

@@ -1,0 +1,111 @@
+package array
+
+import "fmt"
+
+// Components breaks an access latency into pipeline stages (seconds each).
+type Components struct {
+	// HTreeRequest is address/data distribution from the macro port to
+	// the target bank.
+	HTreeRequest float64
+	// InBankRoute is routing from the bank port to the activated mats.
+	InBankRoute float64
+	// Vertical is the 3D die-crossing delay (both directions for reads).
+	Vertical float64
+	// Decode is predecode + row decode.
+	Decode float64
+	// Wordline is the row-select RC delay.
+	Wordline float64
+	// BitlineSense is bitline development plus sense resolution.
+	BitlineSense float64
+	// ColumnMux is column select and output drive.
+	ColumnMux float64
+	// HTreeReply is data return to the macro port (reads only).
+	HTreeReply float64
+	// WritePulse is the cell programming time (writes only).
+	WritePulse float64
+}
+
+// Total sums all stages.
+func (c Components) Total() float64 {
+	return c.HTreeRequest + c.InBankRoute + c.Vertical + c.Decode +
+		c.Wordline + c.BitlineSense + c.ColumnMux + c.HTreeReply + c.WritePulse
+}
+
+// Result is the full characterization of one array configuration under one
+// organization — the array-level quantities Figs. 3 and 6 of the paper plot,
+// which the explorer combines with workload traffic for Figs. 1, 4, 5, 7.
+type Result struct {
+	// Org is the internal organization that produced this result.
+	Org Organization
+	// CellName and Temperature identify the design point.
+	CellName    string
+	Temperature float64
+	// Dies is the stacking degree.
+	Dies int
+
+	// ReadLatency and WriteLatency are access latencies in seconds.
+	ReadLatency, WriteLatency float64
+	// RandomCycle is the per-bank busy time of one access.
+	RandomCycle float64
+	// BandwidthAccesses is the sustainable random access rate (1/s).
+	BandwidthAccesses float64
+
+	// ReadEnergy and WriteEnergy are joules per block access;
+	// the PerBit variants divide by the data bits moved.
+	ReadEnergy, WriteEnergy             float64
+	ReadEnergyPerBit, WriteEnergyPerBit float64
+
+	// LeakagePower is total standby power in watts (cells + periphery).
+	LeakagePower float64
+	// RefreshPower is the average refresh power (volatile dynamic cells).
+	RefreshPower float64
+	// RefreshOccupancy is the fraction of time banks are busy refreshing.
+	RefreshOccupancy float64
+	// Retention is the evaluated retention time in seconds (+Inf if
+	// static).
+	Retention float64
+
+	// FootprintM2 is the 2D silicon footprint per die; TotalSiliconM2 is
+	// the summed area over all dies; CellAreaM2 is the raw cell area.
+	FootprintM2, TotalSiliconM2, CellAreaM2 float64
+	// ArrayEfficiency is cell area over total silicon.
+	ArrayEfficiency float64
+
+	// ReadParts and WriteParts break down the latencies.
+	ReadParts, WriteParts Components
+}
+
+// String summarizes the result for logs and CLI output.
+func (r Result) String() string {
+	return fmt.Sprintf("%s@%.0fK dies=%d [%s] rd=%.2fns wr=%.2fns Erd=%.1fpJ Ewr=%.1fpJ leak=%.3gW area=%.2fmm2",
+		r.CellName, r.Temperature, r.Dies, r.Org,
+		r.ReadLatency*1e9, r.WriteLatency*1e9,
+		r.ReadEnergy*1e12, r.WriteEnergy*1e12,
+		r.LeakagePower, r.FootprintM2*1e6)
+}
+
+// EDP returns the energy-delay product objective used by the paper's
+// organization search: mean access energy — including standby power
+// amortized at a 1e7 accesses/s reference rate, NVMExplorer-style — times
+// read latency.
+func (r Result) EDP() float64 {
+	e := (r.ReadEnergy+r.WriteEnergy)/2 +
+		(r.LeakagePower+r.RefreshPower)*edpRefAccessPeriod
+	return e * r.ReadLatency
+}
+
+// objective returns the value the optimizer minimizes for a target.
+func (r Result) objective(t Target) float64 {
+	switch t {
+	case OptimizeLatency:
+		return r.ReadLatency
+	case OptimizeArea:
+		return r.FootprintM2
+	case OptimizeEnergy:
+		return (r.ReadEnergy + r.WriteEnergy) / 2
+	case OptimizeLeakage:
+		return r.LeakagePower + r.RefreshPower
+	default:
+		return r.EDP()
+	}
+}

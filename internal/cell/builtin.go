@@ -1,0 +1,224 @@
+package cell
+
+import "math"
+
+// Builtin reference cells. These are the nominal design points used when a
+// single representative cell per technology is wanted (the eNVM studies use
+// the tentpole extrema from the database instead; see tentpole.go).
+
+// NewSRAM6T returns the conventional 22 nm-class high-performance 6T SRAM
+// cell (146 F^2), the baseline every result in the paper is normalized to.
+func NewSRAM6T() Cell {
+	return Cell{
+		Tech:            SRAM,
+		Name:            "sram-6t",
+		Source:          "22nm HP 6T, PTM/ITRS-derived",
+		AreaF2:          146,
+		AspectRatio:     0.45, // wide and short: favours many columns
+		WLCapF:          8e-17,
+		BLCapF:          3e-17,
+		Sense:           SenseVoltage,
+		ReadCurrentA:    30e-6,
+		ReadVoltage:     0.10,
+		MinSenseTimeS:   0,
+		WritePulseS:     300e-12,
+		WriteEnergyJ:    1e-16,
+		WriteCurrentA:   0,
+		SubLeakRel:      1.0,
+		FloorLeakRel:    1.0,
+		Retention300S:   math.Inf(1),
+		EnduranceCycles: math.Inf(1),
+	}
+}
+
+// NewEDRAM3T returns the PMOS-only three-transistor gain cell studied by
+// CryoCache: roughly twice the density of SRAM, raised-threshold devices
+// that leak 10-100x less, and millisecond-class room-temperature retention
+// that stretches more than four orders of magnitude at 77 K.
+func NewEDRAM3T() Cell {
+	return Cell{
+		Tech:          EDRAM3T,
+		Name:          "edram-3t",
+		Source:        "PMOS gain cell w/ preferential boosting (Chun et al. JSSC'11 class)",
+		AreaF2:        73, // 2x denser than 6T SRAM
+		AspectRatio:   1.0,
+		WLCapF:        4e-17,
+		BLCapF:        3e-17,
+		Sense:         SenseVoltage,
+		ReadCurrentA:  20e-6,
+		ReadVoltage:   0.10,
+		MinSenseTimeS: 0,
+		WritePulseS:   300e-12,
+		WriteEnergyJ:  1e-16,
+		WriteCurrentA: 0,
+		SubLeakRel:    0.01, // raised-Vth PMOS: ~100x less subthreshold
+		FloorLeakRel:  0.1,  // 3 devices vs 6, hole tunneling: ~10x less floor
+		// 10 ms at 300 K (a preferentially-boosted gain cell, Chun et
+		// al. class). Refresh power stays sub-milliwatt, matching the
+		// paper's figures in which 350 K 3T-eDRAM remains the
+		// power-competitive technology; its 300 K showstopper in prior
+		// work is refresh-induced IPC loss, not refresh power.
+		Retention300S:   10e-3,
+		EnduranceCycles: math.Inf(1),
+	}
+}
+
+// NewEDRAM1T1C returns a conventional deep-trench 1T1C embedded DRAM cell.
+// The paper excludes it from the headline comparison (prior work shows it is
+// slower and more energy-hungry than SRAM and 3T-eDRAM); it is modeled for
+// completeness and for the Destiny-parity ablation.
+func NewEDRAM1T1C() Cell {
+	return Cell{
+		Tech:            EDRAM1T1C,
+		Name:            "edram-1t1c",
+		Source:          "deep-trench 1T1C eDRAM",
+		AreaF2:          30,
+		AspectRatio:     1.5,
+		WLCapF:          5e-17,
+		BLCapF:          1.2e-16, // trench capacitor loads the bitline heavily
+		Sense:           SenseVoltage,
+		ReadCurrentA:    3e-6, // charge-sharing read is weak
+		ReadVoltage:     0.15,
+		MinSenseTimeS:   2e-9, // small-signal sensing off the trench cap
+		WritePulseS:     2e-9,
+		WriteEnergyJ:    5e-16,
+		WriteCurrentA:   0,
+		SubLeakRel:      0.005,
+		FloorLeakRel:    0.05,
+		Retention300S:   3e-3,
+		EnduranceCycles: math.Inf(1),
+		DestructiveRead: true,
+	}
+}
+
+// NewPCM returns a mid-range phase-change (GST mushroom, 1T1R) cell.
+func NewPCM() Cell {
+	return Cell{
+		Tech:            PCM,
+		Name:            "pcm-nominal",
+		Source:          "1T1R GST, survey midpoint",
+		AreaF2:          12,
+		AspectRatio:     1.0,
+		WLCapF:          4e-17,
+		BLCapF:          2e-17,
+		Sense:           SenseCurrent,
+		ReadCurrentA:    15e-6,
+		ReadVoltage:     0.2,
+		MinSenseTimeS:   2e-9,
+		ReadEnergyJ:     0.3e-12,
+		WritePulseS:     60e-9, // SET-limited
+		WriteEnergyJ:    12e-12,
+		WriteCurrentA:   200e-6, // RESET peak
+		SubLeakRel:      0,
+		FloorLeakRel:    0,
+		Retention300S:   math.Inf(1),
+		EnduranceCycles: 1e9,
+	}
+}
+
+// NewSTTRAM returns a mid-range spin-torque-transfer MRAM (1T1MTJ) cell.
+func NewSTTRAM() Cell {
+	return Cell{
+		Tech:            STTRAM,
+		Name:            "stt-nominal",
+		Source:          "1T1MTJ perpendicular MTJ, survey midpoint",
+		AreaF2:          28,
+		AspectRatio:     1.0,
+		WLCapF:          4e-17,
+		BLCapF:          2e-17,
+		Sense:           SenseCurrent,
+		ReadCurrentA:    20e-6,
+		ReadVoltage:     0.15,
+		MinSenseTimeS:   2e-9,
+		ReadEnergyJ:     0.2e-12,
+		WritePulseS:     8e-9,
+		WriteEnergyJ:    1.5e-12,
+		WriteCurrentA:   90e-6,
+		SubLeakRel:      0,
+		FloorLeakRel:    0,
+		Retention300S:   math.Inf(1),
+		EnduranceCycles: 1e13,
+	}
+}
+
+// NewRRAM returns a mid-range filamentary metal-oxide RRAM (1T1R) cell.
+func NewRRAM() Cell {
+	return Cell{
+		Tech:            RRAM,
+		Name:            "rram-nominal",
+		Source:          "1T1R HfOx, survey midpoint",
+		AreaF2:          18,
+		AspectRatio:     1.0,
+		WLCapF:          4e-17,
+		BLCapF:          2e-17,
+		Sense:           SenseCurrent,
+		ReadCurrentA:    12e-6,
+		ReadVoltage:     0.2,
+		MinSenseTimeS:   1.8e-9,
+		ReadEnergyJ:     0.25e-12,
+		WritePulseS:     30e-9,
+		WriteEnergyJ:    4e-12,
+		WriteCurrentA:   120e-6,
+		SubLeakRel:      0,
+		FloorLeakRel:    0,
+		Retention300S:   math.Inf(1),
+		EnduranceCycles: 1e8,
+	}
+}
+
+// NewSOTRAM returns a spin-orbit-torque MRAM cell: a two-transistor cell
+// with very fast, low-energy writes but a larger footprint and slower reads
+// than STT (the read path shares the SOT write line).
+func NewSOTRAM() Cell {
+	return Cell{
+		Tech:            SOTRAM,
+		Name:            "sot-nominal",
+		Source:          "2T SOT-MTJ, survey midpoint",
+		AreaF2:          40,
+		AspectRatio:     1.0,
+		WLCapF:          7e-17,
+		BLCapF:          3e-17,
+		Sense:           SenseCurrent,
+		ReadCurrentA:    10e-6,
+		ReadVoltage:     0.15,
+		MinSenseTimeS:   3e-9,
+		ReadEnergyJ:     0.2e-12,
+		WritePulseS:     1e-9,
+		WriteEnergyJ:    0.4e-12,
+		WriteCurrentA:   60e-6,
+		SubLeakRel:      0,
+		FloorLeakRel:    0,
+		Retention300S:   math.Inf(1),
+		EnduranceCycles: 1e15,
+	}
+}
+
+// Builtin returns the nominal built-in cell for the technology.
+func Builtin(t Technology) (Cell, error) {
+	switch t {
+	case SRAM:
+		return NewSRAM6T(), nil
+	case EDRAM3T:
+		return NewEDRAM3T(), nil
+	case EDRAM1T1C:
+		return NewEDRAM1T1C(), nil
+	case PCM:
+		return NewPCM(), nil
+	case STTRAM:
+		return NewSTTRAM(), nil
+	case RRAM:
+		return NewRRAM(), nil
+	case SOTRAM:
+		return NewSOTRAM(), nil
+	default:
+		return Cell{}, errUnknownTechnology(t)
+	}
+}
+
+func errUnknownTechnology(t Technology) error {
+	return errTech{t}
+}
+
+type errTech struct{ t Technology }
+
+func (e errTech) Error() string { return "cell: unknown technology " + e.t.String() }

@@ -1,0 +1,299 @@
+// Package cell models memory bit cells: the conventional embedded
+// technologies (6T SRAM, 3T gain-cell eDRAM, 1T1C eDRAM) and the embedded
+// non-volatile memories the paper compares against (PCM, STT-RAM, RRAM,
+// SOT-RAM).
+//
+// A Cell carries everything the array model (internal/array) needs to
+// characterize a memory macro built from it: geometry, wordline/bitline
+// loading, read-sensing behaviour, write-pulse behaviour, relative static
+// leakage, retention, and endurance. Cells for the eNVM technologies come in
+// many published flavours; package cell also embeds a database of
+// published-style datapoints (mirroring NVMExplorer's ISSCC/IEDM/VLSI
+// 2016–2020 survey) and implements the "tentpole" methodology that selects
+// optimistic and pessimistic extrema per technology.
+package cell
+
+import (
+	"fmt"
+	"math"
+
+	"coldtall/internal/tech"
+)
+
+// Technology enumerates the memory cell technologies in the study.
+type Technology int
+
+const (
+	// SRAM is the conventional 6T static cell.
+	SRAM Technology = iota
+	// EDRAM3T is the PMOS-only three-transistor gain cell favoured for
+	// cryogenic operation (CryoCache).
+	EDRAM3T
+	// EDRAM1T1C is the conventional deep-trench 1T1C embedded DRAM cell
+	// (modeled by Destiny; excluded from the paper's headline comparison
+	// but supported for completeness).
+	EDRAM1T1C
+	// PCM is phase-change memory (1T1R, GST).
+	PCM
+	// STTRAM is spin-torque-transfer magnetic RAM (1T1MTJ).
+	STTRAM
+	// RRAM is filamentary resistive RAM (1T1R, metal-oxide).
+	RRAM
+	// SOTRAM is spin-orbit-torque magnetic RAM (faster writes than STT at
+	// the cost of read latency and a larger 2-transistor cell).
+	SOTRAM
+	numTechnologies
+)
+
+// Technologies returns all supported technologies in display order.
+func Technologies() []Technology {
+	return []Technology{SRAM, EDRAM3T, EDRAM1T1C, PCM, STTRAM, RRAM, SOTRAM}
+}
+
+// String returns the canonical short name.
+func (t Technology) String() string {
+	switch t {
+	case SRAM:
+		return "SRAM"
+	case EDRAM3T:
+		return "3T-eDRAM"
+	case EDRAM1T1C:
+		return "1T1C-eDRAM"
+	case PCM:
+		return "PCM"
+	case STTRAM:
+		return "STT-RAM"
+	case RRAM:
+		return "RRAM"
+	case SOTRAM:
+		return "SOT-RAM"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// ParseTechnology maps a short name (case-sensitive, as produced by String)
+// to a Technology.
+func ParseTechnology(s string) (Technology, error) {
+	for _, t := range Technologies() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("cell: unknown technology %q", s)
+}
+
+// IsNonVolatile reports whether the technology retains data without power.
+func (t Technology) IsNonVolatile() bool {
+	switch t {
+	case PCM, STTRAM, RRAM, SOTRAM:
+		return true
+	default:
+		return false
+	}
+}
+
+// SenseKind distinguishes how a read is resolved at the bitline.
+type SenseKind int
+
+const (
+	// SenseVoltage reads by discharging/charging a precharged bitline
+	// through the cell's drive current (SRAM, gain-cell eDRAM).
+	SenseVoltage SenseKind = iota
+	// SenseCurrent reads by biasing the cell and resolving the resistance
+	// state with a current sense amplifier (eNVMs).
+	SenseCurrent
+)
+
+// String names the sense kind.
+func (k SenseKind) String() string {
+	if k == SenseCurrent {
+		return "current"
+	}
+	return "voltage"
+}
+
+// Cell describes one memory bit cell design point.
+type Cell struct {
+	// Tech is the cell's technology family.
+	Tech Technology
+	// Name identifies the design point (e.g. "pcm-opt", or a database
+	// entry tag).
+	Name string
+	// Source records provenance for database entries.
+	Source string
+
+	// AreaF2 is the cell footprint in F^2 (lithographic feature squared).
+	AreaF2 float64
+	// AspectRatio is cell height / cell width; bitline length per cell is
+	// sqrt(AreaF2*Aspect)·F, wordline length per cell sqrt(AreaF2/Aspect)·F.
+	AspectRatio float64
+
+	// WLCapF is the gate load each cell places on its wordline (farads).
+	WLCapF float64
+	// BLCapF is the drain/junction load each cell places on its bitline.
+	BLCapF float64
+
+	// Sense is the read mechanism.
+	Sense SenseKind
+	// ReadCurrentA is the cell read current: the bitline
+	// discharge current for voltage sensing, or the sense bias current
+	// for current sensing, at 300 K.
+	ReadCurrentA float64
+	// ReadVoltage is the bitline swing (voltage sensing) or read bias
+	// (current sensing) in volts.
+	ReadVoltage float64
+	// MinSenseTimeS is the intrinsic resolution floor of the sensing
+	// scheme (resistance-sense RC and margin), in seconds. PCM's large
+	// resistance contrast resolves quickly; STT's low TMR makes it the
+	// slowest-sensing eNVM.
+	MinSenseTimeS float64
+	// ReadEnergyJ is the per-bit intrinsic read energy beyond bitline
+	// switching: sense bias, reference cells and boosted read wordlines
+	// for the resistance-sensed eNVMs. Zero for SRAM/eDRAM, whose read
+	// energy is entirely capacitive and modeled by the array.
+	ReadEnergyJ float64
+
+	// WritePulseS is the intrinsic cell write time (the slower of
+	// SET/RESET for eNVMs) in seconds.
+	WritePulseS float64
+	// WriteEnergyJ is the per-bit intrinsic write energy in joules.
+	WriteEnergyJ float64
+	// WriteCurrentA is the peak per-cell write current in amperes; it
+	// sizes the per-column write drivers and charge pumps.
+	WriteCurrentA float64
+
+	// SubLeakRel is the cell's subthreshold leakage relative to the
+	// nominal 6T SRAM cell at the same temperature (1.0 for SRAM, ~0.01
+	// for the raised-Vth PMOS gain cell, 0 for eNVMs).
+	SubLeakRel float64
+	// FloorLeakRel is the temperature-insensitive (tunneling) leakage
+	// floor relative to the SRAM cell's floor.
+	FloorLeakRel float64
+
+	// Retention300S is the data retention time at 300 K in seconds;
+	// +Inf for static and non-volatile cells.
+	Retention300S float64
+	// EnduranceCycles is the write endurance; +Inf for SRAM/eDRAM.
+	EnduranceCycles float64
+	// DestructiveRead indicates reads that must be followed by a
+	// write-back (1T1C eDRAM).
+	DestructiveRead bool
+}
+
+// Validate reports the first non-physical parameter.
+func (c Cell) Validate() error {
+	pos := func(v float64, name string) error {
+		if v <= 0 || math.IsNaN(v) {
+			return fmt.Errorf("cell %q: %s must be positive, got %g", c.Name, name, v)
+		}
+		return nil
+	}
+	nonneg := func(v float64, name string) error {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("cell %q: %s must be non-negative, got %g", c.Name, name, v)
+		}
+		return nil
+	}
+	for _, e := range []error{
+		pos(c.AreaF2, "AreaF2"),
+		pos(c.AspectRatio, "AspectRatio"),
+		pos(c.WLCapF, "WLCapF"),
+		pos(c.BLCapF, "BLCapF"),
+		pos(c.ReadCurrentA, "ReadCurrentA"),
+		pos(c.ReadVoltage, "ReadVoltage"),
+		nonneg(c.MinSenseTimeS, "MinSenseTimeS"),
+		nonneg(c.ReadEnergyJ, "ReadEnergyJ"),
+		pos(c.WritePulseS, "WritePulseS"),
+		pos(c.WriteEnergyJ, "WriteEnergyJ"),
+		nonneg(c.WriteCurrentA, "WriteCurrentA"),
+		nonneg(c.SubLeakRel, "SubLeakRel"),
+		nonneg(c.FloorLeakRel, "FloorLeakRel"),
+		pos(c.Retention300S, "Retention300S"),
+		pos(c.EnduranceCycles, "EnduranceCycles"),
+	} {
+		if e != nil {
+			return e
+		}
+	}
+	if c.Tech < 0 || c.Tech >= numTechnologies {
+		return fmt.Errorf("cell %q: invalid technology %d", c.Name, int(c.Tech))
+	}
+	if c.Tech.IsNonVolatile() && !math.IsInf(c.Retention300S, 1) {
+		return fmt.Errorf("cell %q: non-volatile technology must have infinite retention", c.Name)
+	}
+	return nil
+}
+
+// Dimensions returns the physical cell width (along the wordline) and
+// height (along the bitline) in metres for feature size f.
+func (c Cell) Dimensions(featureSize float64) (width, height float64) {
+	side := math.Sqrt(c.AreaF2) * featureSize
+	ar := math.Sqrt(c.AspectRatio)
+	return side / ar, side * ar
+}
+
+// Nominal per-cell leakage anchors. The 6T SRAM reference cell leaks
+// through two narrow stacked paths; the effective leaking width (microns)
+// folds in the transistor stacking factor, DIBL and body effect, which
+// suppress the path current well below a single device's Ioff. The value is
+// calibrated so a 16 MiB + ECC LLC (~1.5e8 cells) leaks ~0.6 W at 350 K on
+// HP devices, which reproduces the paper's relative power bands (Figs. 1, 4,
+// 5): >50x total-power reduction at 77 K for namd-class traffic, ~20-30x
+// including cooling at the 8e6 reads/s band edge, and a cooled-cryogenic
+// crossover above ~1.5e8 reads/s.
+const (
+	sramLeakWidthUm = 0.0038
+)
+
+// referenceSubLeak300 returns the nominal SRAM-cell subthreshold leakage
+// power at 300 K in watts for the given node.
+func referenceSubLeak300(n tech.Node) float64 {
+	return n.OffCurrentPerMicron * sramLeakWidthUm * n.Vdd
+}
+
+// LeakagePower returns this cell's static power at the device corner, in
+// watts. The model separates the exponentially temperature-dependent
+// subthreshold component from the tunneling floor:
+//
+//	P(T) = SubLeakRel · P_sub300 · S(T) + FloorLeakRel · P_floor
+//
+// where S(T) is the node's subthreshold scale relative to 300 K and
+// P_floor is one millionth of the 350 K subthreshold power (the same floor
+// fraction used by the node model, yielding the paper's ~1e6x reduction for
+// SRAM at 77 K).
+func (c Cell) LeakagePower(corner tech.DeviceCorner) float64 {
+	sub300 := referenceSubLeak300(corner.Node)
+	sub350 := sub300 * tech.SubthresholdLeakageScale(corner.Node.Vth300, tech.TempHot350, tech.TempRoom)
+	floor := 1e-6 * sub350
+	subT := sub300 * tech.SubthresholdLeakageScale(corner.Node.Vth300, corner.Temperature, tech.TempRoom)
+	return c.SubLeakRel*subT + c.FloorLeakRel*floor
+}
+
+// Retention returns the cell's data retention time at the device corner in
+// seconds. Retention is inversely proportional to storage-node leakage; for
+// the gain cell that leakage is the cell's own subthreshold + floor mix, so
+// cooling to 77 K stretches retention by >1e4 (the paper: "more than 10,000
+// times").
+func (c Cell) Retention(corner tech.DeviceCorner) float64 {
+	if math.IsInf(c.Retention300S, 1) {
+		return math.Inf(1)
+	}
+	// Storage-node leakage mix at 300 K vs at T. The floor fraction of
+	// the retention-limiting leakage is ~3e-5 at 300 K, limiting the
+	// cryogenic retention gain to ~3e4x.
+	const retentionFloorFrac = 3e-5
+	s300 := 1.0 + retentionFloorFrac
+	sT := tech.SubthresholdLeakageScale(corner.Node.Vth300, corner.Temperature, tech.TempRoom) + retentionFloorFrac
+	return c.Retention300S * s300 / sT
+}
+
+// NeedsRefresh reports whether the cell requires periodic refresh at all
+// (volatile dynamic cells).
+func (c Cell) NeedsRefresh() bool {
+	return !math.IsInf(c.Retention300S, 1)
+}
+
+// ReadDisturbWriteback reports whether every read must be followed by a
+// restore write (destructive read).
+func (c Cell) ReadDisturbWriteback() bool { return c.DestructiveRead }

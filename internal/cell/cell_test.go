@@ -1,0 +1,203 @@
+package cell
+
+import (
+	"math"
+	"testing"
+
+	"coldtall/internal/tech"
+)
+
+func corner(t *testing.T, temp float64) tech.DeviceCorner {
+	t.Helper()
+	c, err := tech.Node22HP().At(temp)
+	if err != nil {
+		t.Fatalf("corner(%g): %v", temp, err)
+	}
+	return c
+}
+
+func TestAllBuiltinsValidate(t *testing.T) {
+	for _, tc := range Technologies() {
+		c, err := Builtin(tc)
+		if err != nil {
+			t.Fatalf("Builtin(%v): %v", tc, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("builtin %v invalid: %v", tc, err)
+		}
+		if c.Tech != tc {
+			t.Errorf("builtin %v has mismatched Tech %v", tc, c.Tech)
+		}
+	}
+}
+
+func TestBuiltinUnknownTechnology(t *testing.T) {
+	if _, err := Builtin(Technology(42)); err == nil {
+		t.Error("expected error for unknown technology")
+	}
+}
+
+func TestTechnologyStringAndParseRoundTrip(t *testing.T) {
+	for _, tc := range Technologies() {
+		got, err := ParseTechnology(tc.String())
+		if err != nil {
+			t.Fatalf("ParseTechnology(%q): %v", tc.String(), err)
+		}
+		if got != tc {
+			t.Errorf("round trip %v -> %q -> %v", tc, tc.String(), got)
+		}
+	}
+	if _, err := ParseTechnology("bogus"); err == nil {
+		t.Error("expected error for bogus technology name")
+	}
+}
+
+func TestNonVolatileFlags(t *testing.T) {
+	want := map[Technology]bool{
+		SRAM: false, EDRAM3T: false, EDRAM1T1C: false,
+		PCM: true, STTRAM: true, RRAM: true, SOTRAM: true,
+	}
+	for tc, w := range want {
+		if got := tc.IsNonVolatile(); got != w {
+			t.Errorf("%v.IsNonVolatile() = %v, want %v", tc, got, w)
+		}
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	c := NewSRAM6T()
+	c.AreaF2 = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative area must fail validation")
+	}
+	c = NewPCM()
+	c.Retention300S = 10 // non-volatile tech with finite retention
+	if err := c.Validate(); err == nil {
+		t.Error("finite retention on NVM must fail validation")
+	}
+	c = NewSRAM6T()
+	c.WriteEnergyJ = math.NaN()
+	if err := c.Validate(); err == nil {
+		t.Error("NaN write energy must fail validation")
+	}
+}
+
+func TestDimensionsPreserveArea(t *testing.T) {
+	f := 22e-9
+	for _, tc := range Technologies() {
+		c, _ := Builtin(tc)
+		w, h := c.Dimensions(f)
+		area := w * h
+		want := c.AreaF2 * f * f
+		if math.Abs(area-want)/want > 1e-9 {
+			t.Errorf("%v: dimensions %g x %g give area %g, want %g", tc, w, h, area, want)
+		}
+		if ratio := h / w; math.Abs(ratio-c.AspectRatio)/c.AspectRatio > 1e-9 {
+			t.Errorf("%v: aspect %g, want %g", tc, ratio, c.AspectRatio)
+		}
+	}
+}
+
+func TestSRAMLeakageDropsSixOrdersAt77K(t *testing.T) {
+	s := NewSRAM6T()
+	hot := s.LeakagePower(corner(t, tech.TempHot350))
+	cold := s.LeakagePower(corner(t, tech.TempCryo77))
+	r := hot / cold
+	if r < 1e5 || r > 1e7 {
+		t.Errorf("SRAM leakage 350K/77K = %.3e, want ~1e6", r)
+	}
+}
+
+func TestSRAM16MBLeakageMagnitude(t *testing.T) {
+	// A 16 MiB + ECC LLC has ~1.5e8 cells; at 350 K total cell leakage
+	// should land in the 0.1-3 W range typical of an HP-device LLC.
+	s := NewSRAM6T()
+	perCell := s.LeakagePower(corner(t, tech.TempHot350))
+	total := perCell * 151e6
+	if total < 0.1 || total > 3 {
+		t.Errorf("16MB SRAM cell leakage = %.3f W at 350 K, want 0.1-3 W", total)
+	}
+}
+
+func TestEDRAMLeakageRatioShiftsWithTemperature(t *testing.T) {
+	// Paper (Fig. 3): 3T-eDRAM leakage is ~10x below SRAM at 77 K and
+	// ~100x below at 387 K.
+	s, e := NewSRAM6T(), NewEDRAM3T()
+	at := func(temp float64) float64 {
+		c := corner(t, temp)
+		return s.LeakagePower(c) / e.LeakagePower(c)
+	}
+	cold, hot := at(tech.TempCryo77), at(tech.TempTDP387)
+	if cold < 5 || cold > 20 {
+		t.Errorf("SRAM/eDRAM leakage at 77 K = %.1f, want ~10", cold)
+	}
+	if hot < 50 || hot > 200 {
+		t.Errorf("SRAM/eDRAM leakage at 387 K = %.1f, want ~100", hot)
+	}
+	if cold >= hot {
+		t.Error("eDRAM's relative advantage must grow with temperature")
+	}
+}
+
+func TestNVMCellsDoNotLeak(t *testing.T) {
+	for _, tc := range []Technology{PCM, STTRAM, RRAM, SOTRAM} {
+		c, _ := Builtin(tc)
+		if p := c.LeakagePower(corner(t, tech.TempHot350)); p != 0 {
+			t.Errorf("%v cell leakage = %g, want 0", tc, p)
+		}
+	}
+}
+
+func TestRetentionStretchesAt77K(t *testing.T) {
+	e := NewEDRAM3T()
+	r300 := e.Retention(corner(t, tech.TempRoom))
+	r77 := e.Retention(corner(t, tech.TempCryo77))
+	gain := r77 / r300
+	// Paper: "the eliminated leakage current prolongs the retention time
+	// more than 10,000 times".
+	if gain < 1e4 || gain > 1e6 {
+		t.Errorf("retention gain at 77 K = %.3e, want 1e4-1e6", gain)
+	}
+}
+
+func TestRetentionShrinksWhenHot(t *testing.T) {
+	e := NewEDRAM3T()
+	r300 := e.Retention(corner(t, tech.TempRoom))
+	r350 := e.Retention(corner(t, tech.TempHot350))
+	if r350 >= r300 {
+		t.Error("retention must shrink from 300 K to 350 K")
+	}
+	if ratio := r300 / r350; ratio < 3 || ratio > 50 {
+		t.Errorf("retention 300K/350K = %.1f, want 3-50x", ratio)
+	}
+}
+
+func TestInfiniteRetentionStaysInfinite(t *testing.T) {
+	s := NewSRAM6T()
+	if !math.IsInf(s.Retention(corner(t, tech.TempCryo77)), 1) {
+		t.Error("SRAM retention must be infinite at any temperature")
+	}
+	if s.NeedsRefresh() {
+		t.Error("SRAM must not need refresh")
+	}
+	if !NewEDRAM3T().NeedsRefresh() {
+		t.Error("3T-eDRAM must need refresh")
+	}
+}
+
+func TestEDRAMDensityAdvantage(t *testing.T) {
+	s, e := NewSRAM6T(), NewEDRAM3T()
+	if r := s.AreaF2 / e.AreaF2; r < 1.8 || r > 2.2 {
+		t.Errorf("SRAM/3T-eDRAM cell area ratio = %.2f, want ~2 (paper: twice-higher density)", r)
+	}
+}
+
+func TestDestructiveReadOnlyFor1T1C(t *testing.T) {
+	for _, tc := range Technologies() {
+		c, _ := Builtin(tc)
+		want := tc == EDRAM1T1C
+		if c.ReadDisturbWriteback() != want {
+			t.Errorf("%v destructive read = %v, want %v", tc, c.DestructiveRead, want)
+		}
+	}
+}

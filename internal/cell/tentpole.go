@@ -1,0 +1,98 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+)
+
+// Corner selects which extreme of the published spread a tentpole cell
+// represents.
+type Corner int
+
+const (
+	// Optimistic composes the most favourable published value of every
+	// cell property for a technology.
+	Optimistic Corner = iota
+	// Pessimistic composes the least favourable values.
+	Pessimistic
+)
+
+// String names the corner.
+func (c Corner) String() string {
+	if c == Pessimistic {
+		return "pessimistic"
+	}
+	return "optimistic"
+}
+
+// Corners returns both corners in display order.
+func Corners() []Corner { return []Corner{Optimistic, Pessimistic} }
+
+// Tentpole builds the optimistic or pessimistic composite cell for an eNVM
+// technology from the embedded database, implementing NVMExplorer's
+// "tentpole" methodology: the extrema of the cell-level characteristics
+// represent the range of potential behaviour of each technology across a
+// large volume of published datapoints.
+//
+// Favourable means smaller for area, sensing time, write pulse, write
+// energy and write current, and larger for read current and endurance.
+func Tentpole(t Technology, corner Corner) (Cell, error) {
+	entries := ByTechnology(t)
+	if len(entries) == 0 {
+		return Cell{}, fmt.Errorf("cell: no database entries for %v (tentpole applies to eNVM technologies)", t)
+	}
+	best := entries[0].Cell
+	best.Name = fmt.Sprintf("%s-%s", techSlug(t), corner)
+	best.Source = fmt.Sprintf("tentpole %s over %d survey points", corner, len(entries))
+	lo := func(a, b float64) float64 { return math.Min(a, b) }
+	hi := func(a, b float64) float64 { return math.Max(a, b) }
+	favorSmall, favorLarge := lo, hi
+	if corner == Pessimistic {
+		favorSmall, favorLarge = hi, lo
+	}
+	for _, e := range entries[1:] {
+		best.AreaF2 = favorSmall(best.AreaF2, e.AreaF2)
+		best.MinSenseTimeS = favorSmall(best.MinSenseTimeS, e.MinSenseTimeS)
+		best.ReadEnergyJ = favorSmall(best.ReadEnergyJ, e.ReadEnergyJ)
+		best.WritePulseS = favorSmall(best.WritePulseS, e.WritePulseS)
+		best.WriteEnergyJ = favorSmall(best.WriteEnergyJ, e.WriteEnergyJ)
+		best.WriteCurrentA = favorSmall(best.WriteCurrentA, e.WriteCurrentA)
+		best.ReadCurrentA = favorLarge(best.ReadCurrentA, e.ReadCurrentA)
+		best.EnduranceCycles = favorLarge(best.EnduranceCycles, e.EnduranceCycles)
+	}
+	return best, nil
+}
+
+// TentpolePair returns the optimistic and pessimistic composites.
+func TentpolePair(t Technology) (opt, pess Cell, err error) {
+	opt, err = Tentpole(t, Optimistic)
+	if err != nil {
+		return Cell{}, Cell{}, err
+	}
+	pess, err = Tentpole(t, Pessimistic)
+	if err != nil {
+		return Cell{}, Cell{}, err
+	}
+	return opt, pess, nil
+}
+
+func techSlug(t Technology) string {
+	switch t {
+	case PCM:
+		return "pcm"
+	case STTRAM:
+		return "stt"
+	case RRAM:
+		return "rram"
+	case SOTRAM:
+		return "sot"
+	case SRAM:
+		return "sram"
+	case EDRAM3T:
+		return "edram3t"
+	case EDRAM1T1C:
+		return "edram1t1c"
+	default:
+		return "unknown"
+	}
+}

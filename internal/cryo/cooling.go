@@ -1,0 +1,195 @@
+// Package cryo models the system-level costs of cryogenic operation: the
+// electrical power a cryocooler consumes to remove each watt of heat at
+// 77 K, and the thermal budget of liquid-nitrogen bath cooling.
+//
+// The paper (Sections III-C and V-A) follows prior 77 K work in charging
+// 9.65 W of cooler input power per watt removed for a 100 kW-class cooling
+// plant (derived from a survey of 235 cryocoolers), and explores more
+// conservative small-scale coolers — 14.3x at 1 kW, 21.8x at 100 W and
+// 39.6x at 10 W capacity — following Iwasa's "Case Studies in
+// Superconducting Magnets" Fig. 4.5: cooling efficiency amortizes with
+// plant capacity.
+package cryo
+
+import (
+	"fmt"
+	"sort"
+
+	"coldtall/internal/tech"
+)
+
+// CoolerClass identifies a cryocooler capacity point from the survey.
+type CoolerClass int
+
+const (
+	// Cooler100kW is the large-scale plant assumed by prior 77 K studies
+	// (overhead 9.65x) — the paper's default.
+	Cooler100kW CoolerClass = iota
+	// Cooler1kW is a rack-scale cooler (14.3x).
+	Cooler1kW
+	// Cooler100W is a desktop-scale cooler (21.8x).
+	Cooler100W
+	// Cooler10W is a single-device cooler (39.6x).
+	Cooler10W
+)
+
+// Classes returns all cooler classes from largest to smallest capacity.
+func Classes() []CoolerClass {
+	return []CoolerClass{Cooler100kW, Cooler1kW, Cooler100W, Cooler10W}
+}
+
+// String names the class by its capacity.
+func (c CoolerClass) String() string {
+	switch c {
+	case Cooler100kW:
+		return "100kW"
+	case Cooler1kW:
+		return "1kW"
+	case Cooler100W:
+		return "100W"
+	case Cooler10W:
+		return "10W"
+	default:
+		return fmt.Sprintf("CoolerClass(%d)", int(c))
+	}
+}
+
+// Overhead returns the cooler input power per watt of heat removed at 77 K.
+func (c CoolerClass) Overhead() float64 {
+	switch c {
+	case Cooler100kW:
+		return 9.65
+	case Cooler1kW:
+		return 14.3
+	case Cooler100W:
+		return 21.8
+	case Cooler10W:
+		return 39.6
+	default:
+		return 9.65
+	}
+}
+
+// CapacityWatts returns the heat-removal capacity of the class in watts.
+func (c CoolerClass) CapacityWatts() float64 {
+	switch c {
+	case Cooler100kW:
+		return 100e3
+	case Cooler1kW:
+		return 1e3
+	case Cooler100W:
+		return 100
+	case Cooler10W:
+		return 10
+	default:
+		return 100e3
+	}
+}
+
+// Cooling describes the cooling environment of a design point.
+type Cooling struct {
+	// Class selects the cryocooler capacity (and thus overhead).
+	Class CoolerClass
+	// ThresholdK is the temperature at or below which cooling power is
+	// charged; conventional operation above it is assumed ambient/air
+	// cooled for free. 77 K systems pay; 300 K+ systems do not. The
+	// default (via DefaultCooling) is 200 K.
+	ThresholdK float64
+}
+
+// DefaultCooling returns the paper's default environment: a 100 kW-class
+// plant charged below 200 K.
+func DefaultCooling() Cooling {
+	return Cooling{Class: Cooler100kW, ThresholdK: 200}
+}
+
+// Validate reports configuration errors.
+func (c Cooling) Validate() error {
+	if c.ThresholdK <= 0 {
+		return fmt.Errorf("cryo: cooling threshold must be positive, got %g", c.ThresholdK)
+	}
+	found := false
+	for _, cl := range Classes() {
+		if cl == c.Class {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("cryo: unknown cooler class %d", int(c.Class))
+	}
+	return nil
+}
+
+// Applies reports whether cooling power is charged at the given operating
+// temperature.
+func (c Cooling) Applies(temperatureK float64) bool {
+	return temperatureK <= c.ThresholdK
+}
+
+// TotalPower returns device power plus cooling power at the given operating
+// temperature: devicePower*(1+overhead) when cooling applies, devicePower
+// otherwise.
+func (c Cooling) TotalPower(devicePowerW, temperatureK float64) float64 {
+	if !c.Applies(temperatureK) {
+		return devicePowerW
+	}
+	return devicePowerW * (1 + c.Class.Overhead())
+}
+
+// CoolingPower returns only the cooler input power for the device load.
+func (c Cooling) CoolingPower(devicePowerW, temperatureK float64) float64 {
+	return c.TotalPower(devicePowerW, temperatureK) - devicePowerW
+}
+
+// WithinCapacity reports whether the device heat load fits the cooler.
+func (c Cooling) WithinCapacity(devicePowerW float64) bool {
+	return devicePowerW <= c.Class.CapacityWatts()
+}
+
+// BreakEvenReduction returns the minimum factor by which 77 K operation
+// must reduce device power for total power (including cooling) to break
+// even with uncooled operation: 1 + overhead.
+//
+// The paper: "to achieve power efficiency over 300K systems, 77K systems
+// should consume 10.65 times less power than 300K systems" (100 kW class).
+func (c Cooling) BreakEvenReduction() float64 {
+	return 1 + c.Class.Overhead()
+}
+
+// LN bath cooling thermal budget (Section V-A): the conventional
+// liquid-nitrogen bath removes ~157 W versus ~65 W for 300 K air cooling —
+// 2.41x the capacity — with about 20 K of temperature variation.
+const (
+	// LNBathCapacityW is the heat-removal capacity of an LN bath cooler.
+	LNBathCapacityW = 157.0
+	// AirCoolingCapacityW is the reference 300 K air-cooling capacity.
+	AirCoolingCapacityW = 65.0
+	// LNBathTempVariationK is the temperature variation across the bath.
+	LNBathTempVariationK = 20.0
+)
+
+// ThermalBudgetOK reports whether a full-processor heat load can be held at
+// 77 K by LN bath cooling (the paper's argument that other CPU components
+// do not break the cryogenic LLC's environment).
+func ThermalBudgetOK(totalChipPowerW float64) bool {
+	return totalChipPowerW <= LNBathCapacityW
+}
+
+// OverheadCurve returns (capacityWatts, overhead) pairs sorted by capacity,
+// for plotting the amortization trend.
+func OverheadCurve() [][2]float64 {
+	cls := Classes()
+	out := make([][2]float64, len(cls))
+	for i, c := range cls {
+		out[i] = [2]float64{c.CapacityWatts(), c.Overhead()}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// EffectiveTemperatures returns the operating points swept by the paper's
+// temperature studies (Fig. 1, Fig. 3): 77 K to 387 K at ~50 K intervals
+// plus the 350 K normalization anchor.
+func EffectiveTemperatures() []float64 {
+	return []float64{tech.TempCryo77, 127, 177, 227, 277, 327, tech.TempHot350, tech.TempTDP387}
+}

@@ -1,0 +1,273 @@
+package explorer
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"coldtall/internal/array"
+	"coldtall/internal/cryo"
+	"coldtall/internal/reliability"
+	"coldtall/internal/tech"
+	"coldtall/internal/workload"
+)
+
+// Evaluation is one (design point, benchmark) cell of the study: the
+// application-level metrics the paper plots.
+type Evaluation struct {
+	// Point and Traffic identify the cell.
+	Point   DesignPoint
+	Traffic workload.Traffic
+	// Array is the underlying array characterization.
+	Array array.Result
+
+	// DevicePower is leakage + refresh + traffic-driven dynamic power in
+	// watts.
+	DevicePower float64
+	// CoolingPower is the cryocooler input power (0 when warm).
+	CoolingPower float64
+	// TotalPower is DevicePower + CoolingPower — the paper's "total LLC
+	// power including cooling".
+	TotalPower float64
+
+	// AggregateLatency is the total access latency incurred per second
+	// of execution (reads/s x read latency + writes/s x write latency),
+	// the paper's "total LLC latency".
+	AggregateLatency float64
+	// Utilization is demanded accesses over sustainable bandwidth; at 1
+	// the array saturates.
+	Utilization float64
+	// ContentionFactor inflates per-access latency for bank conflicts
+	// under load (M/D/1 waiting time): 1 at idle, growing without bound
+	// toward saturation. It quantifies the paper's bandwidth check.
+	ContentionFactor float64
+	// Slowdown reports whether this solution fails the paper's
+	// bandwidth/latency check against the 350 K SRAM baseline for the
+	// same benchmark (a relative total-latency value above 1, or demand
+	// beyond the array's sustainable bandwidth).
+	Slowdown bool
+
+	// LifetimeYears is the write-endurance-limited lifetime under this
+	// benchmark's write rate with ideal wear leveling (+Inf when the
+	// technology does not wear).
+	LifetimeYears float64
+}
+
+// Explorer evaluates design points under workloads. The zero value is not
+// usable; construct with New.
+type Explorer struct {
+	// Cooling is the cryogenic environment.
+	Cooling cryo.Cooling
+
+	mu    sync.Mutex
+	cache map[string]array.Result
+}
+
+// New returns an Explorer with the paper's default cooling (100 kW-class
+// cryocooler charged below 200 K).
+func New() *Explorer {
+	return &Explorer{
+		Cooling: cryo.DefaultCooling(),
+		cache:   make(map[string]array.Result),
+	}
+}
+
+// WithCooling returns an Explorer using a specific cooling environment.
+func WithCooling(c cryo.Cooling) (*Explorer, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	e := New()
+	e.Cooling = c
+	return e, nil
+}
+
+// Characterize runs (and caches) the EDP-optimized array characterization
+// of a design point.
+func (e *Explorer) Characterize(p DesignPoint) (array.Result, error) {
+	if err := p.Validate(); err != nil {
+		return array.Result{}, err
+	}
+	key := p.Key()
+	e.mu.Lock()
+	r, ok := e.cache[key]
+	e.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := array.Optimize(p.arrayConfig())
+	if err != nil {
+		return array.Result{}, fmt.Errorf("explorer: characterizing %s: %w", p.Label, err)
+	}
+	e.mu.Lock()
+	e.cache[key] = r
+	e.mu.Unlock()
+	return r, nil
+}
+
+// Evaluate computes the application-level metrics of one design point under
+// one benchmark's traffic, following the paper's methodology: total LLC
+// power is leakage plus refresh plus rate-weighted access energy, cooling
+// is charged below the cooling threshold, and total LLC latency is the
+// rate-weighted access latency.
+func (e *Explorer) Evaluate(p DesignPoint, tr workload.Traffic) (Evaluation, error) {
+	if err := tr.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	r, err := e.Characterize(p)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	dynamic := tr.ReadsPerSec*r.ReadEnergy + tr.WritesPerSec*r.WriteEnergy
+	device := r.LeakagePower + r.RefreshPower + dynamic
+	total := e.Cooling.TotalPower(device, p.Temperature)
+
+	agg := tr.ReadsPerSec*r.ReadLatency + tr.WritesPerSec*r.WriteLatency
+	util, contention := contentionModel(tr, r)
+
+	ev := Evaluation{
+		Point:            p,
+		Traffic:          tr,
+		Array:            r,
+		DevicePower:      device,
+		CoolingPower:     total - device,
+		TotalPower:       total,
+		AggregateLatency: agg,
+		Utilization:      util,
+		ContentionFactor: contention,
+		LifetimeYears:    lifetimeYears(r, p, tr),
+	}
+	ev.Slowdown = e.slowdown(ev)
+	return ev, nil
+}
+
+// slowdown applies the paper's performance check: a solution "above a
+// relative value of 1 in total LLC latency" against 350 K SRAM on the same
+// benchmark, or demand exceeding sustainable bandwidth, will negatively
+// impact performance.
+func (e *Explorer) slowdown(ev Evaluation) bool {
+	demand := ev.Traffic.ReadsPerSec + ev.Traffic.WritesPerSec
+	if demand > ev.Array.BandwidthAccesses {
+		return true
+	}
+	base, err := e.Characterize(Baseline())
+	if err != nil {
+		return false
+	}
+	baseAgg := ev.Traffic.ReadsPerSec*base.ReadLatency + ev.Traffic.WritesPerSec*base.WriteLatency
+	return ev.AggregateLatency > baseAgg*(1+1e-12)
+}
+
+// contentionModel estimates bank-conflict queuing: the LLC's banks act as
+// servers with deterministic service time (the random cycle), so the mean
+// M/D/1 waiting time inflates effective latency by 1 + rho/(2(1-rho)). At
+// or beyond saturation the factor is unbounded; it is capped at 100x for
+// reporting.
+func contentionModel(tr workload.Traffic, r array.Result) (utilization, factor float64) {
+	demand := tr.ReadsPerSec + tr.WritesPerSec
+	if r.BandwidthAccesses <= 0 {
+		return math.Inf(1), 100
+	}
+	rho := demand / r.BandwidthAccesses
+	if rho >= 1 {
+		return rho, 100
+	}
+	return rho, 1 + rho/(2*(1-rho))
+}
+
+// lifetimeYears estimates the wear-out horizon with ideal wear leveling:
+// endurance cycles per cell, writes spread across all blocks.
+func lifetimeYears(r array.Result, p DesignPoint, tr workload.Traffic) float64 {
+	if math.IsInf(p.Cell.EnduranceCycles, 1) {
+		return math.Inf(1)
+	}
+	if tr.WritesPerSec == 0 {
+		return math.Inf(1)
+	}
+	blocks := float64(p.Capacity()) / 64
+	writesPerBlockPerSec := tr.WritesPerSec / blocks
+	seconds := p.Cell.EnduranceCycles / writesPerBlockPerSec
+	return seconds / (365.25 * 24 * 3600)
+}
+
+// EvaluateAll crosses design points with benchmarks; results are indexed
+// [point][benchmark] following the input orders.
+func (e *Explorer) EvaluateAll(points []DesignPoint, traffics []workload.Traffic) ([][]Evaluation, error) {
+	out := make([][]Evaluation, len(points))
+	for i, p := range points {
+		row := make([]Evaluation, len(traffics))
+		for j, tr := range traffics {
+			ev, err := e.Evaluate(p, tr)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = ev
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// ReferenceBenchmark is the normalization workload of the paper's SPEC
+// analyses (Fig. 1's namd).
+const ReferenceBenchmark = "namd"
+
+// BaselineEvaluation returns the universal denominator: 350 K 1-die SRAM
+// running the reference benchmark.
+func (e *Explorer) BaselineEvaluation() (Evaluation, error) {
+	tr, err := workload.StaticTrafficFor(ReferenceBenchmark)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return e.Evaluate(Baseline(), tr)
+}
+
+// Relative expresses an evaluation against a baseline evaluation, the way
+// every figure in the paper is normalized.
+type Relative struct {
+	Evaluation
+	// RelPower is TotalPower over the baseline's (cooling included).
+	RelPower float64
+	// RelDevicePower excludes cooling on both sides.
+	RelDevicePower float64
+	// RelLatency is AggregateLatency over the baseline's.
+	RelLatency float64
+	// RelArea is footprint over the baseline's.
+	RelArea float64
+}
+
+// Normalize divides an evaluation by a baseline.
+func Normalize(ev, base Evaluation) Relative {
+	return Relative{
+		Evaluation:     ev,
+		RelPower:       ev.TotalPower / base.TotalPower,
+		RelDevicePower: ev.DevicePower / base.DevicePower,
+		RelLatency:     ev.AggregateLatency / base.AggregateLatency,
+		RelArea:        ev.Array.FootprintM2 / base.Array.FootprintM2,
+	}
+}
+
+// Reliability analyzes the evaluation's design point under its benchmark's
+// write stream with the LLC's SECDED code: soft write-error FIT (after one
+// write-verify retry, the standard eNVM controller policy), wear-out
+// lifetime, and the retention weak-bit tail for dynamic cells. The refresh
+// interval is fixed at the hot-corner (350 K) design value, so cryogenic
+// operation shows its retention-tail benefit.
+func (ev Evaluation) Reliability() (reliability.Report, error) {
+	cfg := reliability.Config{
+		ECC:           reliability.SECDED(),
+		WritesPerSec:  ev.Traffic.WritesPerSec,
+		BlockDataBits: 64 * 8,
+		TotalBits:     float64(ev.Point.Capacity()) * 8,
+		RetentionS:    ev.Array.Retention,
+		WriteRetries:  1,
+	}
+	if ev.Point.Cell.NeedsRefresh() {
+		corner, err := tech.Node22HP().At(tech.TempHot350)
+		if err != nil {
+			return reliability.Report{}, err
+		}
+		cfg.RefreshIntervalS = ev.Point.Cell.Retention(corner) / 10
+	}
+	return reliability.Analyze(ev.Point.Cell, cfg)
+}

@@ -1,0 +1,151 @@
+package explorer
+
+import (
+	"sync"
+
+	"coldtall/internal/dram"
+	"coldtall/internal/sim"
+	"coldtall/internal/workload"
+)
+
+// The cross-computing-stack layer: the paper's methodology extrapolates
+// "whether an NVM-based solution will meet the total bandwidth and expected
+// access latencies without incurring slowdown". SystemImpact makes that
+// check quantitative end to end — synthetic workload through the Table I
+// hierarchy for miss rates, the array model for LLC latency, the DRAM model
+// for miss penalties, folded into average memory access time and a CPI/IPC
+// estimate.
+
+// Core timing assumptions for the AMAT/CPI model (Table I's 5 GHz core).
+const (
+	l1HitCycles = 4.0
+	l2HitCycles = 12.0
+	// dramRowHitRate is the assumed row-buffer locality of LLC misses.
+	dramRowHitRate = 0.5
+)
+
+// Impact is the system-level consequence of one LLC choice under one
+// benchmark.
+type Impact struct {
+	// Point and Benchmark identify the cell.
+	Point     DesignPoint
+	Benchmark string
+	// Miss rates observed in the hierarchy simulation (local ratios).
+	L1MissRate, L2MissRate, LLCMissRate float64
+	// AMATSeconds is the average memory access time.
+	AMATSeconds float64
+	// CPI is the estimated cycles per instruction.
+	CPI float64
+	// RelIPC is performance relative to the 350 K SRAM baseline LLC for
+	// the same benchmark (> 1 means this LLC makes the CPU faster).
+	RelIPC float64
+}
+
+// missProfile caches hierarchy simulations per benchmark (miss rates do not
+// depend on the LLC technology, only on its geometry, which the study holds
+// at Table I).
+type missProfile struct {
+	l1, l2, llc float64
+}
+
+var (
+	missMu    sync.Mutex
+	missCache = map[string]missProfile{}
+)
+
+// simulateMisses replays the benchmark stand-in and extracts local miss
+// ratios per level.
+func simulateMisses(prof workload.Profile) (missProfile, error) {
+	missMu.Lock()
+	mp, ok := missCache[prof.Name]
+	missMu.Unlock()
+	if ok {
+		return mp, nil
+	}
+	g, err := prof.Generator(1)
+	if err != nil {
+		return missProfile{}, err
+	}
+	h, err := sim.NewHierarchy(sim.TableIConfig())
+	if err != nil {
+		return missProfile{}, err
+	}
+	const accesses = 400000
+	h.Run(g, accesses/4) // warm
+	before := [3]sim.Stats{h.LevelStats(0), h.LevelStats(1), h.LevelStats(2)}
+	h.Run(g, accesses-accesses/4)
+	rate := func(i int) float64 {
+		s := h.LevelStats(i)
+		acc := s.Accesses() - before[i].Accesses()
+		if acc == 0 {
+			return 0
+		}
+		return float64(s.Misses()-before[i].Misses()) / float64(acc)
+	}
+	mp = missProfile{l1: rate(0), l2: rate(1), llc: rate(2)}
+	missMu.Lock()
+	missCache[prof.Name] = mp
+	missMu.Unlock()
+	return mp, nil
+}
+
+// SystemImpact estimates the CPU-level effect of an LLC design point under
+// a benchmark: AMAT through the simulated hierarchy, CPI via the
+// benchmark's memory intensity, and IPC relative to the 350 K SRAM
+// baseline.
+func (e *Explorer) SystemImpact(p DesignPoint, prof workload.Profile, mem dram.Model) (Impact, error) {
+	if err := prof.Validate(); err != nil {
+		return Impact{}, err
+	}
+	mp, err := simulateMisses(prof)
+	if err != nil {
+		return Impact{}, err
+	}
+	amat, err := e.amat(p, mp, mem)
+	if err != nil {
+		return Impact{}, err
+	}
+	base, err := e.amat(Baseline(), mp, mem)
+	if err != nil {
+		return Impact{}, err
+	}
+
+	cycle := 1.0 / workload.FrequencyHz
+	memPerInstr := prof.MemOpsPerKiloInstr / 1000
+	// Split the benchmark's nominal CPI into an execution core and the
+	// baseline memory component, then swap the memory component.
+	cpiNominal := 1.0 / prof.IPC
+	memCPIBase := memPerInstr * (base - l1HitCycles*cycle) / cycle
+	cpiCore := cpiNominal - memCPIBase
+	if cpiCore < 0.1 {
+		cpiCore = 0.1
+	}
+	memCPI := memPerInstr * (amat - l1HitCycles*cycle) / cycle
+	cpi := cpiCore + memCPI
+	cpiBase := cpiCore + memCPIBase
+	return Impact{
+		Point:       p,
+		Benchmark:   prof.Name,
+		L1MissRate:  mp.l1,
+		L2MissRate:  mp.l2,
+		LLCMissRate: mp.llc,
+		AMATSeconds: amat,
+		CPI:         cpi,
+		RelIPC:      cpiBase / cpi,
+	}, nil
+}
+
+// amat folds the hierarchy levels into the average memory access time for
+// the given LLC design point.
+func (e *Explorer) amat(p DesignPoint, mp missProfile, mem dram.Model) (float64, error) {
+	r, err := e.Characterize(p)
+	if err != nil {
+		return 0, err
+	}
+	cycle := 1.0 / workload.FrequencyHz
+	tL1 := l1HitCycles * cycle
+	tL2 := l2HitCycles * cycle
+	tLLC := r.ReadLatency
+	tMem := mem.AverageLatency(dramRowHitRate)
+	return tL1 + mp.l1*(tL2+mp.l2*(tLLC+mp.llc*tMem)), nil
+}

@@ -1,0 +1,163 @@
+// Package report renders the study's tables and figure series as aligned
+// ASCII, CSV, and coarse terminal scatter plots, so every table and figure
+// of the paper can be regenerated from the command line and diffed as text.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	// Title is printed above the grid.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; short rows are padded, long rows truncated to the
+// column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the accumulated rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i, wd := range widths {
+		seps[i] = strings.Repeat("-", wd)
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV with the header first.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders to a string (test helper and small outputs).
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Eng formats a value with engineering notation suited to the study's
+// magnitudes (powers in watts, times in seconds, areas in square metres).
+func Eng(v float64, unit string) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case v == 0:
+		return "0 " + unit
+	case abs >= 1e9:
+		return fmt.Sprintf("%.3g G%s", v/1e9, unit)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3g M%s", v/1e6, unit)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3g k%s", v/1e3, unit)
+	case abs >= 1:
+		return fmt.Sprintf("%.3g %s", v, unit)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.3g m%s", v*1e3, unit)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.3g u%s", v*1e6, unit)
+	case abs >= 1e-9:
+		return fmt.Sprintf("%.3g n%s", v*1e9, unit)
+	case abs >= 1e-12:
+		return fmt.Sprintf("%.3g p%s", v*1e12, unit)
+	default:
+		return fmt.Sprintf("%.3g %s", v, unit)
+	}
+}
+
+// Rel formats a value relative to a baseline (the paper's universal idiom).
+func Rel(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100 || v < 0.01:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Area formats a silicon area given in square metres as mm^2 (the natural
+// unit of this study's footprints). SI prefixes do not compose with squared
+// units, so Eng must not be used for areas.
+func Area(m2 float64) string {
+	return fmt.Sprintf("%.3g mm2", m2*1e6)
+}

@@ -1,0 +1,52 @@
+// Package tech models the underlying silicon technology: device parameters
+// for a CMOS process node, and — centrally for this work — how those
+// parameters change with operating temperature between 77 K (liquid
+// nitrogen) and 387 K (an approximate CPU thermal design point).
+//
+// The temperature models implement the physical effects that CryoMEM
+// (Min et al., "CryoCache"; Lee et al., "CryoRAM") builds on:
+//
+//   - Wire resistivity falls roughly linearly with temperature
+//     (Bloch–Grüneisen), about 6x lower at 77 K than at 300 K for on-chip
+//     copper, which shortens wire-dominated array access latency.
+//   - Subthreshold leakage collapses exponentially as the thermal voltage
+//     kT/q shrinks and the threshold voltage rises, leaving only a small
+//     temperature-insensitive floor (gate/junction tunneling), around six
+//     orders of magnitude below room-temperature leakage.
+//   - Carrier mobility improves as phonon scattering freezes out, partially
+//     offset by the higher threshold voltage, yielding modestly faster
+//     transistors at 77 K.
+//
+// Everything downstream (cell, array, stack, explorer) consumes temperature
+// only through this package.
+package tech
+
+// Physical constants (SI units).
+const (
+	// BoltzmannJ is the Boltzmann constant in joules per kelvin.
+	BoltzmannJ = 1.380649e-23
+	// ElectronCharge is the elementary charge in coulombs.
+	ElectronCharge = 1.602176634e-19
+	// BoltzmannEV is the Boltzmann constant in electron-volts per kelvin.
+	BoltzmannEV = BoltzmannJ / ElectronCharge
+)
+
+// Reference temperatures used throughout the study (kelvin).
+const (
+	// TempCryo77 is the liquid-nitrogen operating point targeted by
+	// CMOS-compatible cryogenic computing.
+	TempCryo77 = 77.0
+	// TempRoom is the conventional reference ambient.
+	TempRoom = 300.0
+	// TempHot350 is the typical operating temperature of an active LLC;
+	// the paper normalizes every result to 350 K SRAM.
+	TempHot350 = 350.0
+	// TempTDP387 approximates a CPU thermal design point, the top of the
+	// studied range.
+	TempTDP387 = 387.0
+)
+
+// ThermalVoltage returns kT/q in volts at temperature t (kelvin).
+func ThermalVoltage(t float64) float64 {
+	return BoltzmannEV * t
+}

@@ -1,0 +1,137 @@
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// WireLayer selects one of the interconnect layer classes used inside a
+// memory macro: local wires route within a subarray, intermediate wires
+// within a mat, and global wires form the H-tree between banks.
+type WireLayer int
+
+const (
+	// WireLocal is minimum-pitch metal (wordlines, bitlines, M1/M2).
+	WireLocal WireLayer = iota
+	// WireIntermediate is relaxed-pitch routing within a mat.
+	WireIntermediate
+	// WireGlobal is wide upper metal used for the inter-bank H-tree.
+	WireGlobal
+)
+
+// String returns the layer name.
+func (l WireLayer) String() string {
+	switch l {
+	case WireLocal:
+		return "local"
+	case WireIntermediate:
+		return "intermediate"
+	case WireGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("WireLayer(%d)", int(l))
+	}
+}
+
+// wireGeometry holds the physical cross-section of a layer.
+type wireGeometry struct {
+	width     float64 // metres
+	thickness float64 // metres
+	capPerM   float64 // farads per metre (weak temperature dependence, held fixed)
+}
+
+// geometries for a 22 nm-class metal stack.
+var wireGeometries = map[WireLayer]wireGeometry{
+	WireLocal:        {width: 40e-9, thickness: 80e-9, capPerM: 180e-12},
+	WireIntermediate: {width: 60e-9, thickness: 120e-9, capPerM: 200e-12},
+	WireGlobal:       {width: 150e-9, thickness: 300e-9, capPerM: 220e-12},
+}
+
+// Wire is a temperature-evaluated interconnect layer. Construct with
+// NewWire; the zero value is not usable.
+type Wire struct {
+	layer       WireLayer
+	resPerMeter float64
+	capPerMeter float64
+}
+
+// NewWire returns the RC description of a wire layer at temperature t for
+// the reference 22 nm-class metal stack.
+func NewWire(layer WireLayer, t float64) (Wire, error) {
+	return NewWireScaled(layer, t, 1)
+}
+
+// NewWireScaled returns the wire at temperature t with the cross-section
+// scaled by the given factor relative to the 22 nm-class stack (use
+// featureSize/22nm when modeling other nodes). Capacitance per length is
+// held constant — the classic result of constant-aspect-ratio wire scaling
+// — while resistance per length grows as the inverse square of the scale.
+func NewWireScaled(layer WireLayer, t, scale float64) (Wire, error) {
+	g, ok := wireGeometries[layer]
+	if !ok {
+		return Wire{}, fmt.Errorf("tech: unknown wire layer %v", layer)
+	}
+	if err := ValidateTemperature(t); err != nil {
+		return Wire{}, err
+	}
+	if scale <= 0 {
+		return Wire{}, fmt.Errorf("tech: wire scale must be positive, got %g", scale)
+	}
+	rho := WireResistivity(t)
+	return Wire{
+		layer:       layer,
+		resPerMeter: rho / (g.width * scale * g.thickness * scale),
+		capPerMeter: g.capPerM,
+	}, nil
+}
+
+// Layer returns the wire's layer class.
+func (w Wire) Layer() WireLayer { return w.layer }
+
+// ResistancePerMeter returns ohms per metre at the evaluated temperature.
+func (w Wire) ResistancePerMeter() float64 { return w.resPerMeter }
+
+// CapacitancePerMeter returns farads per metre.
+func (w Wire) CapacitancePerMeter() float64 { return w.capPerMeter }
+
+// Resistance returns the total resistance of length metres of this wire.
+func (w Wire) Resistance(length float64) float64 { return w.resPerMeter * length }
+
+// Capacitance returns the total capacitance of length metres of this wire.
+func (w Wire) Capacitance(length float64) float64 { return w.capPerMeter * length }
+
+// ElmoreDelay returns the distributed-RC (Elmore) delay of an unrepeated
+// wire of the given length driven by a source with resistance rDrive into a
+// load capacitance cLoad:
+//
+//	d = 0.69 (rDrive (Cw + cLoad)) + 0.38 Rw Cw + 0.69 Rw cLoad
+func (w Wire) ElmoreDelay(length, rDrive, cLoad float64) float64 {
+	rw := w.Resistance(length)
+	cw := w.Capacitance(length)
+	return 0.69*rDrive*(cw+cLoad) + 0.38*rw*cw + 0.69*rw*cLoad
+}
+
+// RepeatedDelay returns the delay of the wire when broken into optimally
+// sized and spaced repeaters built from the supplied device corner. The
+// classic result is delay/length = 2 sqrt(0.38 Rw/m * Cw/m * tau_buf) with
+// tau_buf the intrinsic buffer time constant; we approximate tau_buf with
+// the corner's FO4 delay divided by 5 (one inverter stage).
+func (w Wire) RepeatedDelay(length float64, corner DeviceCorner) float64 {
+	tauBuf := corner.FO4Delay / 5
+	perMeter := 2 * math.Sqrt(0.38*w.resPerMeter*w.capPerMeter*tauBuf)
+	return perMeter * length
+}
+
+// RepeatedEnergy returns the switching energy of driving the repeated wire
+// once: the wire capacitance plus a repeater-capacitance overhead (about 40%
+// of wire cap at the optimal sizing) charged to Vdd.
+func (w Wire) RepeatedEnergy(length float64, corner DeviceCorner) float64 {
+	c := w.Capacitance(length) * 1.4
+	return c * corner.Vdd * corner.Vdd
+}
+
+// SwitchEnergy returns the CV^2 energy of one full-swing transition on an
+// unrepeated wire of the given length at supply vdd.
+func (w Wire) SwitchEnergy(length, vdd float64) float64 {
+	return w.Capacitance(length) * vdd * vdd
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Traffic is the LLC load of one benchmark under continuous operation:
+// total read and write accesses per second reaching the shared LLC across
+// all 8 rate copies at 5 GHz — exactly the quantity the paper extrapolates
+// from Sniper access counts and plots benchmarks by in Figs. 5 and 7.
+type Traffic struct {
+	// Benchmark names the workload.
+	Benchmark string
+	// ReadsPerSec and WritesPerSec are LLC accesses per second.
+	ReadsPerSec, WritesPerSec float64
+}
+
+// WriteReadRatio returns writes per read (0 when idle).
+func (t Traffic) WriteReadRatio() float64 {
+	if t.ReadsPerSec == 0 {
+		return 0
+	}
+	return t.WritesPerSec / t.ReadsPerSec
+}
+
+// Validate reports negative rates.
+func (t Traffic) Validate() error {
+	if t.ReadsPerSec < 0 || t.WritesPerSec < 0 {
+		return fmt.Errorf("workload: %s: negative traffic", t.Benchmark)
+	}
+	return nil
+}
+
+// StaticTraffic returns the Sniper-substitute per-benchmark LLC rates the
+// figures are generated from. The values are consistent with the synthetic
+// profiles (rate = Cores * IPC * f * memops * LLCFrac) and are calibrated
+// to the paper's traffic landscape:
+//
+//   - povray and exchange2 sit below 5e4 reads/s (Table II low band);
+//   - eight benchmarks occupy the 5e4–8e6 band;
+//   - mcf is the read-traffic maximum (~1.8e8/s) with the lowest
+//     write:read ratio, so its total LLC latency is read-dominated
+//     (the Fig. 7 exception);
+//   - lbm/bwaves/mcf reach the ~1e8+ regime where cooled cryogenic
+//     operation crosses above the 350 K SRAM baseline (Fig. 5).
+func StaticTraffic() []Traffic {
+	return []Traffic{
+		{"perlbench", 3.07e6, 9.2e5},
+		{"gcc", 1.02e7, 3.6e6},
+		{"mcf", 1.79e8, 1.8e6},
+		{"omnetpp", 4.16e7, 1.25e7},
+		{"xalancbmk", 7.5e6, 1.9e6},
+		{"x264", 1.68e6, 5.0e5},
+		{"deepsjeng", 7.8e5, 2.2e5},
+		{"leela", 1.39e5, 3.6e4},
+		{"exchange2", 1.44e4, 3.6e3},
+		{"xz", 3.48e7, 1.0e7},
+		{"bwaves", 1.27e8, 3.0e7},
+		{"cactuBSSN", 5.22e7, 1.5e7},
+		{"namd", 1.41e7, 3.2e6},
+		{"parest", 8.3e6, 2.1e6},
+		{"povray", 2.51e4, 6.3e3},
+		{"lbm", 1.49e8, 4.3e7},
+		{"wrf", 2.94e7, 7.9e6},
+		{"blender", 3.02e6, 7.9e5},
+		{"cam4", 1.66e7, 4.2e6},
+		{"imagick", 4.75e5, 1.2e5},
+		{"nab", 7.66e5, 1.8e5},
+		{"fotonik3d", 8.29e7, 2.4e7},
+		{"roms", 6.16e7, 1.8e7},
+	}
+}
+
+// StaticTrafficFor returns one benchmark's static rates.
+func StaticTrafficFor(name string) (Traffic, error) {
+	for _, t := range StaticTraffic() {
+		if t.Benchmark == name {
+			return t, nil
+		}
+	}
+	return Traffic{}, fmt.Errorf("workload: no static traffic for %q", name)
+}
+
+// SortedByReads returns the static table ascending by read rate.
+func SortedByReads() []Traffic {
+	ts := StaticTraffic()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ReadsPerSec < ts[j].ReadsPerSec })
+	return ts
+}
+
+// Band is a Table II read-traffic regime.
+type Band int
+
+const (
+	// BandLow is < 5e4 read accesses per second.
+	BandLow Band = iota
+	// BandMid is 5e4 to 8e6.
+	BandMid
+	// BandHigh is > 8e6.
+	BandHigh
+)
+
+// Band boundaries (reads/s) from Table II.
+const (
+	LowBandMax  = 5e4
+	HighBandMin = 8e6
+)
+
+// String names the band as Table II prints it.
+func (b Band) String() string {
+	switch b {
+	case BandLow:
+		return "<5e4"
+	case BandMid:
+		return "5e4-8e6"
+	case BandHigh:
+		return ">8e6"
+	default:
+		return fmt.Sprintf("Band(%d)", int(b))
+	}
+}
+
+// Bands returns all bands in ascending traffic order.
+func Bands() []Band { return []Band{BandLow, BandMid, BandHigh} }
+
+// BandOf classifies a read rate.
+func BandOf(readsPerSec float64) Band {
+	switch {
+	case readsPerSec < LowBandMax:
+		return BandLow
+	case readsPerSec <= HighBandMin:
+		return BandMid
+	default:
+		return BandHigh
+	}
+}
+
+// InBand filters the static table to one band.
+func InBand(b Band) []Traffic {
+	var out []Traffic
+	for _, t := range SortedByReads() {
+		if BandOf(t.ReadsPerSec) == b {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Representative returns the band's characteristic benchmark: the highest-
+// read-traffic member, matching how the paper's Table II summarizes each
+// regime by its most demanding workloads.
+func Representative(b Band) (Traffic, error) {
+	ts := InBand(b)
+	if len(ts) == 0 {
+		return Traffic{}, fmt.Errorf("workload: band %v is empty", b)
+	}
+	return ts[len(ts)-1], nil
+}

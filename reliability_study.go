@@ -1,0 +1,95 @@
+package coldtall
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"coldtall/internal/cell"
+	"coldtall/internal/explorer"
+	"coldtall/internal/report"
+	"coldtall/internal/tech"
+	"coldtall/internal/workload"
+)
+
+// ReliabilityRow summarizes the fault behaviour of one candidate LLC under
+// one band-representative benchmark — the quantitative backing for the
+// paper's endurance caveat ("may be a limitation particularly for PCM and
+// RRAM solutions").
+type ReliabilityRow struct {
+	// Benchmark and its write rate.
+	Benchmark    string
+	WritesPerSec float64
+	// Label names the design point.
+	Label string
+	// SoftFIT is uncorrectable-write failures per 1e9 device-hours
+	// through the LLC's SECDED code.
+	SoftFIT float64
+	// WearLifetimeYears is the wear-out horizon (ideal wear leveling).
+	WearLifetimeYears float64
+	// RetentionWeakBits is the expected weak bits per refresh pass
+	// (dynamic cells only).
+	RetentionWeakBits float64
+}
+
+// ReliabilityStudy analyzes the main Table II candidates under each band's
+// representative write stream.
+func (s *Study) ReliabilityStudy() ([]ReliabilityRow, error) {
+	points := []explorer.DesignPoint{
+		explorer.EDRAMAt(tech.TempHot350),
+		explorer.EDRAMAt(tech.TempCryo77),
+	}
+	for _, tc := range []cell.Technology{cell.PCM, cell.STTRAM, cell.RRAM} {
+		p, err := explorer.Stacked(tc, cell.Optimistic, 4)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	var rows []ReliabilityRow
+	for _, b := range workload.Bands() {
+		rep, err := workload.Representative(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range points {
+			ev, err := s.exp.Evaluate(p, rep)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ev.Reliability()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ReliabilityRow{
+				Benchmark:         rep.Benchmark,
+				WritesPerSec:      rep.WritesPerSec,
+				Label:             p.Label,
+				SoftFIT:           r.SoftFIT,
+				WearLifetimeYears: r.WearLifetimeYears,
+				RetentionWeakBits: r.RetentionWeakBitsPerRefresh,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderReliability prints the reliability study.
+func (s *Study) RenderReliability(w io.Writer) error {
+	rows, err := s.ReliabilityStudy()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Reliability under SECDED(72,64): soft write FIT, wear-out horizon, retention tail",
+		"benchmark", "writes/s", "design point", "soft FIT", "wear lifetime", "weak bits/refresh")
+	for _, r := range rows {
+		life := "no wear-out"
+		if !math.IsInf(r.WearLifetimeYears, 1) {
+			life = fmt.Sprintf("%.1f years", r.WearLifetimeYears)
+		}
+		t.AddRow(r.Benchmark, fmt.Sprintf("%.3g", r.WritesPerSec), r.Label,
+			fmt.Sprintf("%.3g", r.SoftFIT), life, fmt.Sprintf("%.3g", r.RetentionWeakBits))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,232 @@
+package coldtall
+
+import (
+	"fmt"
+	"io"
+
+	"coldtall/internal/report"
+)
+
+// RenderFig1 prints Fig. 1 as a table.
+func (s *Study) RenderFig1(w io.Writer) error {
+	rows, err := s.Fig1()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Fig. 1: Total LLC power of SRAM running SPEC2017.namd vs temperature (relative to 350K SRAM)",
+		"T (K)", "rel power", "rel power incl cooling")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.0f", r.TemperatureK),
+			report.Rel(r.RelDevicePower), report.Rel(r.RelTotalPower))
+	}
+	return t.Render(w)
+}
+
+// RenderFig3 prints Fig. 3 as a table.
+func (s *Study) RenderFig3(w io.Writer) error {
+	rows, err := s.Fig3()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Fig. 3: Array-level characterization vs temperature (relative to 350K SRAM)",
+		"cell", "T (K)", "rd lat", "wr lat", "rd E/b", "wr E/b", "leakage", "retention")
+	for _, r := range rows {
+		ret := "static"
+		if r.RetentionS < 1e12 {
+			ret = report.Eng(r.RetentionS, "s")
+		}
+		t.AddRow(r.Cell, fmt.Sprintf("%.0f", r.TemperatureK),
+			report.Rel(r.RelReadLatency), report.Rel(r.RelWriteLatency),
+			report.Rel(r.RelReadEnergy), report.Rel(r.RelWriteEnergy),
+			report.Rel(r.RelLeakagePower), ret)
+	}
+	return t.Render(w)
+}
+
+// RenderFig4 prints Fig. 4 as a table.
+func (s *Study) RenderFig4(w io.Writer) error {
+	rows, err := s.Fig4()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Fig. 4: Total LLC power, namd vs leela (relative to 350K SRAM running namd)",
+		"benchmark", "cell", "350K", "77K", "77K+cooling")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.Cell,
+			report.Rel(r.Rel350K), report.Rel(r.Rel77K), report.Rel(r.Rel77KCooled))
+	}
+	return t.Render(w)
+}
+
+// renderTraffic prints a Fig. 5 / Fig. 7 row set as a table plus two
+// log-log scatter plots (power vs reads/s, latency vs writes/s).
+func renderTraffic(w io.Writer, title string, rows []TrafficRow, plot bool) error {
+	t := report.NewTable(title,
+		"design point", "benchmark", "reads/s", "writes/s",
+		"rel power", "rel power+cooling", "rel latency", "slowdown")
+	for _, r := range rows {
+		t.AddRow(r.Label, r.Benchmark,
+			fmt.Sprintf("%.3g", r.ReadsPerSec), fmt.Sprintf("%.3g", r.WritesPerSec),
+			report.Rel(r.RelDevicePower), report.Rel(r.RelTotalPower),
+			report.Rel(r.RelLatency), fmt.Sprintf("%v", r.Slowdown))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if !plot {
+		return nil
+	}
+	power := report.NewScatter("Total LLC power vs read traffic", "read accesses/s", "power rel. to 350K SRAM (namd)")
+	latency := report.NewScatter("Total LLC latency vs write traffic", "write accesses/s", "latency rel. to 350K SRAM (namd)")
+	byLabel := map[string]int{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byLabel[r.Label]; !ok {
+			byLabel[r.Label] = len(order)
+			order = append(order, r.Label)
+		}
+	}
+	for _, label := range order {
+		var px, py, lx, ly []float64
+		for _, r := range rows {
+			if r.Label != label {
+				continue
+			}
+			px = append(px, r.ReadsPerSec)
+			py = append(py, r.RelTotalPower)
+			lx = append(lx, r.WritesPerSec)
+			ly = append(ly, r.RelLatency)
+		}
+		if err := power.Add(report.Series{Name: label, X: px, Y: py}); err != nil {
+			return err
+		}
+		if err := latency.Add(report.Series{Name: label, X: lx, Y: ly}); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if err := power.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return latency.Render(w)
+}
+
+// RenderFig5 prints Fig. 5 (table + scatters when plot is true).
+func (s *Study) RenderFig5(w io.Writer, plot bool) error {
+	rows, err := s.Fig5()
+	if err != nil {
+		return err
+	}
+	return renderTraffic(w,
+		"Fig. 5: Total LLC power and latency for SPEC2017, 77K vs 350K (relative to 350K SRAM running namd)",
+		rows, plot)
+}
+
+// RenderFig6 prints Fig. 6 as a table.
+func (s *Study) RenderFig6(w io.Writer) error {
+	rows, err := s.Fig6()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Fig. 6: Array-level characterization of 2D/3D eNVMs at 350K (relative to 1-die SRAM)",
+		"design point", "area", "rd E/b", "wr E/b", "rd lat", "wr lat", "leakage")
+	for _, r := range rows {
+		t.AddRow(r.Label, report.Rel(r.RelArea),
+			report.Rel(r.RelReadEnergy), report.Rel(r.RelWriteEnergy),
+			report.Rel(r.RelReadLatency), report.Rel(r.RelWriteLatency),
+			report.Rel(r.RelLeakagePower))
+	}
+	return t.Render(w)
+}
+
+// RenderFig7 prints Fig. 7 (table + scatters when plot is true).
+func (s *Study) RenderFig7(w io.Writer, plot bool) error {
+	rows, err := s.Fig7()
+	if err != nil {
+		return err
+	}
+	return renderTraffic(w,
+		"Fig. 7: Total LLC power and latency for 2D/3D eNVMs at 350K (relative to 350K SRAM running namd)",
+		rows, plot)
+}
+
+// RenderTable1 prints Table I.
+func RenderTable1(w io.Writer) error {
+	t := report.NewTable("Table I: Key CPU model parameters", "parameter", "value")
+	for _, r := range Table1() {
+		t.AddRow(r.Parameter, r.Value)
+	}
+	return t.Render(w)
+}
+
+// RenderTable2 prints Table II.
+func (s *Study) RenderTable2(w io.Writer) error {
+	rows, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Table II: Optimal LLC per read-traffic regime and design target",
+		"reads/s", "target", "optimal LLC", "alt", "350K-family optimal", "350K-family alt")
+	for _, r := range rows {
+		t.AddRow(r.Band, r.Objective, r.Winner, r.Alternative, r.Winner3D, r.Alternative3D)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, "\n  'alt' appears when the winner's write endurance limits lifetime; the\n  350K-family columns restrict candidates to the Destiny-framework points\n  the paper's performance column reports (see EXPERIMENTS.md).")
+	return err
+}
+
+// RenderCoolingSweep prints the Section III-C sensitivity.
+func (s *Study) RenderCoolingSweep(w io.Writer) error {
+	rows, err := s.CoolingSweep()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		"Cooling-overhead sensitivity: 77K 3T-eDRAM vs 350K SRAM (same benchmark; <1 = cryo wins)",
+		"cooler", "overhead", "benchmark", "reads/s", "rel total power")
+	for _, r := range rows {
+		t.AddRow(r.Cooler, fmt.Sprintf("%.2f", r.Overhead), r.Benchmark,
+			fmt.Sprintf("%.3g", r.ReadsPerSec), report.Rel(r.RelTotalPower))
+	}
+	return t.Render(w)
+}
+
+// RenderColdAndTall prints the Section VI combined cryogenic + 3D study for
+// the three band-representative benchmarks.
+func (s *Study) RenderColdAndTall(w io.Writer) error {
+	for _, bench := range BandRepresentatives() {
+		rows, sum, err := s.renderColdAndTallRows(bench)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("Cold AND tall (Sec. VI future work) under %s traffic (relative to 350K 1-die SRAM on namd)", bench),
+			"design point", "rel power+cooling", "rel latency", "rel area")
+		for _, r := range rows {
+			t.AddRow(r.Label, report.Rel(r.RelTotalPower), report.Rel(r.RelLatency), report.Rel(r.RelArea))
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w,
+			"  verdict: power winner %s (%.4g), latency winner %s (%.4g); best warm eNVM %s (%.4g)\n\n",
+			sum.PowerWinner.Label, sum.PowerWinner.RelTotalPower,
+			sum.LatencyWinner.Label, sum.LatencyWinner.RelLatency,
+			sum.WarmENVMLabel, sum.WarmENVMPower); err != nil {
+			return err
+		}
+	}
+	return nil
+}

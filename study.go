@@ -1,0 +1,44 @@
+package coldtall
+
+import (
+	"coldtall/internal/cryo"
+	"coldtall/internal/explorer"
+	"coldtall/internal/workload"
+)
+
+// Study regenerates the paper's evaluation. It owns an explorer whose
+// array characterizations are cached, so generating every figure costs each
+// design-point optimization once.
+type Study struct {
+	exp *explorer.Explorer
+}
+
+// NewStudy creates a study with the paper's default environment (100 kW
+// cryocooler, Table I LLC).
+func NewStudy() *Study {
+	return &Study{exp: explorer.New()}
+}
+
+// NewStudyWithCooling creates a study under a different cooling environment
+// (the Section III-C sensitivity).
+func NewStudyWithCooling(c cryo.Cooling) (*Study, error) {
+	e, err := explorer.WithCooling(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{exp: e}, nil
+}
+
+// Explorer exposes the underlying engine for custom sweeps.
+func (s *Study) Explorer() *explorer.Explorer { return s.exp }
+
+// baseline returns the universal denominator (350 K SRAM on namd) and its
+// array characterization.
+func (s *Study) baseline() (explorer.Evaluation, error) {
+	return s.exp.BaselineEvaluation()
+}
+
+// trafficFor is a lookup helper shared by the figure generators.
+func trafficFor(name string) (workload.Traffic, error) {
+	return workload.StaticTrafficFor(name)
+}

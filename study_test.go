@@ -1,0 +1,444 @@
+package coldtall
+
+import (
+	"encoding/csv"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"coldtall/internal/cryo"
+	"coldtall/internal/workload"
+)
+
+// one shared study: every figure reuses cached characterizations.
+var (
+	studyOnce sync.Once
+	theStudy  *Study
+)
+
+func study(t *testing.T) *Study {
+	t.Helper()
+	studyOnce.Do(func() { theStudy = NewStudy() })
+	return theStudy
+}
+
+func TestFig1Shape(t *testing.T) {
+	rows, err := study(t).Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Fig 1 has %d temperature points, want 8", len(rows))
+	}
+	byTemp := map[float64]Fig1Row{}
+	for i, r := range rows {
+		byTemp[r.TemperatureK] = r
+		if i > 0 && r.TemperatureK <= rows[i-1].TemperatureK {
+			t.Error("temperatures not ascending")
+		}
+	}
+	// 350 K normalizes to 1.
+	if math.Abs(byTemp[350].RelDevicePower-1) > 1e-9 {
+		t.Errorf("350 K should normalize to 1, got %g", byTemp[350].RelDevicePower)
+	}
+	// Paper: >50x reduction at 77 K; net benefit survives cooling.
+	if byTemp[77].RelDevicePower > 1.0/50 {
+		t.Errorf("77 K relative power %.4f, want < 0.02", byTemp[77].RelDevicePower)
+	}
+	if byTemp[77].RelTotalPower >= 0.5 {
+		t.Errorf("77 K incl cooling %.3f, want < 0.5 (paper: >50%% reduction)", byTemp[77].RelTotalPower)
+	}
+	// 387 K is worse than 350 K.
+	if byTemp[387].RelDevicePower <= 1 {
+		t.Error("387 K should exceed the 350 K baseline")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rows, err := study(t).Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("Fig 3 has %d rows, want 16 (8 temps x 2 cells)", len(rows))
+	}
+	find := func(cellName string, temp float64) Fig3Row {
+		for _, r := range rows {
+			if r.Cell == cellName && r.TemperatureK == temp {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s@%g", cellName, temp)
+		return Fig3Row{}
+	}
+	s77, s350 := find("SRAM", 77), find("SRAM", 350)
+	e77, e387 := find("3T-eDRAM", 77), find("3T-eDRAM", 387)
+	// Latency ~70% lower at 77 K.
+	if red := 1 - s77.RelReadLatency/s350.RelReadLatency; red < 0.6 || red > 0.88 {
+		t.Errorf("77 K latency reduction %.0f%%, want 60-88%%", red*100)
+	}
+	// Leakage ~1e6x lower.
+	if r := s350.RelLeakagePower / s77.RelLeakagePower; r < 1e5 {
+		t.Errorf("leakage collapse %.3g, want ~1e6", r)
+	}
+	// eDRAM leakage 10-100x below SRAM across the range.
+	if r := s77.RelLeakagePower / e77.RelLeakagePower; r < 5 || r > 20 {
+		t.Errorf("eDRAM leakage advantage at 77K = %.1f, want ~10", r)
+	}
+	if r := find("SRAM", 387).RelLeakagePower / e387.RelLeakagePower; r < 50 || r > 200 {
+		t.Errorf("eDRAM leakage advantage at 387K = %.1f, want ~100", r)
+	}
+	// Dynamic energy nearly flat (~10%).
+	if spread := s350.RelReadEnergy/s77.RelReadEnergy - 1; math.Abs(spread) > 0.15 {
+		t.Errorf("read-energy temperature spread %.2f, want small", spread)
+	}
+	// eDRAM retention stretches >1e4x from 350 K to 77 K.
+	if gain := e77.RetentionS / find("3T-eDRAM", 350).RetentionS; gain < 1e4 {
+		t.Errorf("retention gain %.3g, want > 1e4", gain)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rows, err := study(t).Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Fig 4 has %d rows, want 4", len(rows))
+	}
+	find := func(bench, cellName string) Fig4Row {
+		for _, r := range rows {
+			if r.Benchmark == bench && r.Cell == cellName {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%s", bench, cellName)
+		return Fig4Row{}
+	}
+	namdS, namdE := find("namd", "SRAM"), find("namd", "3T-eDRAM")
+	leelaS, leelaE := find("leela", "SRAM"), find("leela", "3T-eDRAM")
+	// namd: cryo SRAM wins even cooled; cryo eDRAM loses to 350 K eDRAM.
+	if namdS.Rel77KCooled >= namdS.Rel350K {
+		t.Error("namd: cooled 77K SRAM should beat 350K SRAM")
+	}
+	if namdE.Rel77KCooled <= namdE.Rel350K {
+		t.Error("namd: cooled 77K eDRAM should lose to 350K eDRAM (paper Fig. 4)")
+	}
+	// leela: cryo wins for both.
+	if leelaS.Rel77KCooled >= leelaS.Rel350K || leelaE.Rel77KCooled >= leelaE.Rel350K {
+		t.Error("leela: cooled cryo should win for both technologies")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	rows, err := study(t).Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*23 {
+		t.Fatalf("Fig 5 has %d rows, want 92 (4 points x 23 benchmarks)", len(rows))
+	}
+	// 77K 3T-eDRAM device power is the minimum for every benchmark.
+	best := map[string]TrafficRow{}
+	for _, r := range rows {
+		if cur, ok := best[r.Benchmark]; !ok || r.RelDevicePower < cur.RelDevicePower {
+			best[r.Benchmark] = r
+		}
+	}
+	for bench, r := range best {
+		if r.Label != "77K 3T-eDRAM" {
+			t.Errorf("%s: lowest device power is %s, want 77K 3T-eDRAM", bench, r.Label)
+		}
+	}
+	// The cooled-cryo crossover exists: some high-traffic benchmark has
+	// RelTotalPower above its own-benchmark SRAM baseline; a low-traffic
+	// one does not. Use the slowdown-free subset.
+	var lbmCold, povrayCold TrafficRow
+	for _, r := range rows {
+		if r.Label == "77K 3T-eDRAM" && r.Benchmark == "lbm" {
+			lbmCold = r
+		}
+		if r.Label == "77K 3T-eDRAM" && r.Benchmark == "povray" {
+			povrayCold = r
+		}
+	}
+	if povrayCold.RelTotalPower > 1e-3 {
+		t.Errorf("povray cooled cryo rel power %.4g, want < 1e-3 (>2500x win)", povrayCold.RelTotalPower)
+	}
+	if lbmCold.RelTotalPower < 0.5 {
+		t.Errorf("lbm cooled cryo rel power %.3f, want near/above baseline", lbmCold.RelTotalPower)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows, err := study(t).Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 28 {
+		t.Fatalf("Fig 6 has %d rows, want 28", len(rows))
+	}
+	find := func(label string) Fig6Row {
+		for _, r := range rows {
+			if r.Label == label {
+				return r
+			}
+		}
+		t.Fatalf("missing %q", label)
+		return Fig6Row{}
+	}
+	s8 := find("8-die SRAM")
+	p8 := find("8-die PCM (optimistic)")
+	p1 := find("1-die PCM (optimistic)")
+	if s8.RelArea > 0.2 {
+		t.Errorf("8-die SRAM rel area %.3f, want < 0.2 (>80%% reduction)", s8.RelArea)
+	}
+	if p8.RelArea > 0.1 {
+		t.Errorf("8-die PCM rel area %.3f, want < 0.1 (>10x denser than 1-die SRAM)", p8.RelArea)
+	}
+	if red := 1 - p8.RelArea/p1.RelArea; red < 0.2 || red > 0.45 {
+		t.Errorf("PCM stacking area reduction %.0f%%, want ~30%%", red*100)
+	}
+	if p8.RelReadLatency > 0.4 {
+		t.Errorf("8-die PCM rel read latency %.3f, want well below baseline", p8.RelReadLatency)
+	}
+	t8 := find("8-die STT-RAM (optimistic)")
+	if t8.RelWriteLatency >= find("1-die SRAM").RelWriteLatency {
+		t.Error("8-die STT should beat SRAM write latency")
+	}
+	// Corner labels populated for eNVMs, empty for SRAM.
+	if p8.Corner != "optimistic" || s8.Corner != "" {
+		t.Errorf("corner labels wrong: %q %q", p8.Corner, s8.Corner)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	rows, err := study(t).Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 28*23 {
+		t.Fatalf("Fig 7 has %d rows, want 644", len(rows))
+	}
+	// 8-die PCM optimistic is the power winner on mcf.
+	var best TrafficRow
+	first := true
+	for _, r := range rows {
+		if r.Benchmark != "mcf" {
+			continue
+		}
+		if first || r.RelTotalPower < best.RelTotalPower {
+			best, first = r, false
+		}
+	}
+	if best.Label != "8-die PCM (optimistic)" {
+		t.Errorf("mcf power winner = %s, want 8-die PCM (optimistic)", best.Label)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	want := map[string]string{
+		"Class":        "Desktop (based on Intel Skylake)",
+		"Num. cores":   "8",
+		"Process node": "22nm",
+		"Frequency":    "5 GHz",
+		"L1I$":         "32 KiB",
+		"L1D$":         "32 KiB",
+		"L2$":          "512 KiB",
+		"L3$":          "shared 16 MiB, 16 ways",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("Table I has %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if w, ok := want[r.Parameter]; !ok || w != r.Value {
+			t.Errorf("Table I %q = %q, want %q", r.Parameter, r.Value, want[r.Parameter])
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := study(t).Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(band, obj string) Table2Row {
+		for _, r := range rows {
+			if r.Band == band && r.Objective == obj {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%s", band, obj)
+		return Table2Row{}
+	}
+	// Power column: 77K 3T-eDRAM / 4-die PCM (alt 77K 3T-eDRAM) /
+	// 8-die PCM (alt 8-die SRAM).
+	if r := find("<5e4", "power"); r.Winner != "77K 3T-eDRAM" || r.Alternative != "-" {
+		t.Errorf("low power row = %+v", r)
+	}
+	if r := find("5e4-8e6", "power"); r.Winner != "4-die PCM (optimistic)" || r.Alternative != "77K 3T-eDRAM" {
+		t.Errorf("mid power row = %+v", r)
+	}
+	if r := find(">8e6", "power"); r.Winner != "8-die PCM (optimistic)" || r.Alternative != "8-die SRAM" {
+		t.Errorf("high power row = %+v", r)
+	}
+	// Performance (350K-family view): 8-die STT / 8-die STT / 8-die PCM.
+	if r := find("<5e4", "performance"); r.Winner3D != "8-die STT-RAM (optimistic)" {
+		t.Errorf("low perf 3D = %q", r.Winner3D)
+	}
+	if r := find(">8e6", "performance"); r.Winner3D != "8-die PCM (optimistic)" {
+		t.Errorf("high perf 3D = %q", r.Winner3D)
+	}
+	// Area: 8-die PCM, alt 3D STT where endurance bites.
+	if r := find("5e4-8e6", "area"); r.Winner != "8-die PCM (optimistic)" ||
+		!strings.Contains(r.Alternative, "STT") {
+		t.Errorf("mid area row = %+v", r)
+	}
+}
+
+func TestCoolingSweepShape(t *testing.T) {
+	rows, err := study(t).CoolingSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("cooling sweep has %d rows, want 12 (4 coolers x 3 benchmarks)", len(rows))
+	}
+	// For each benchmark, relative power grows with overhead.
+	prev := map[string]float64{}
+	for _, r := range rows {
+		if p, ok := prev[r.Benchmark]; ok && r.RelTotalPower <= p {
+			t.Errorf("%s: rel power should grow with cooler overhead", r.Benchmark)
+		}
+		prev[r.Benchmark] = r.RelTotalPower
+	}
+	// povray wins under every cooler; lbm loses under every cooler.
+	for _, r := range rows {
+		switch r.Benchmark {
+		case "povray":
+			if r.RelTotalPower >= 1 {
+				t.Errorf("povray should win even with the %s cooler", r.Cooler)
+			}
+		case "lbm":
+			if r.RelTotalPower <= 1 {
+				t.Errorf("lbm should lose even with the %s cooler", r.Cooler)
+			}
+		}
+	}
+}
+
+func TestNewStudyWithCoolingValidates(t *testing.T) {
+	if _, err := NewStudyWithCooling(cryo.Cooling{Class: cryo.Cooler1kW, ThresholdK: -1}); err == nil {
+		t.Error("invalid cooling should be rejected")
+	}
+	s, err := NewStudyWithCooling(cryo.Cooling{Class: cryo.Cooler10W, ThresholdK: 200})
+	if err != nil || s.Explorer() == nil {
+		t.Fatalf("NewStudyWithCooling failed: %v", err)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	s := study(t)
+	renders := map[string]func(*strings.Builder) error{
+		"fig1":    func(b *strings.Builder) error { return s.RenderFig1(b) },
+		"fig3":    func(b *strings.Builder) error { return s.RenderFig3(b) },
+		"fig4":    func(b *strings.Builder) error { return s.RenderFig4(b) },
+		"fig5":    func(b *strings.Builder) error { return s.RenderFig5(b, true) },
+		"fig6":    func(b *strings.Builder) error { return s.RenderFig6(b) },
+		"fig7":    func(b *strings.Builder) error { return s.RenderFig7(b, false) },
+		"table1":  func(b *strings.Builder) error { return RenderTable1(b) },
+		"table2":  func(b *strings.Builder) error { return s.RenderTable2(b) },
+		"cooling": func(b *strings.Builder) error { return s.RenderCoolingSweep(b) },
+	}
+	for name, render := range renders {
+		var b strings.Builder
+		if err := render(&b); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if b.Len() < 100 {
+			t.Errorf("%s: suspiciously short output (%d bytes)", name, b.Len())
+		}
+	}
+}
+
+func TestStudySharesCacheAcrossFigures(t *testing.T) {
+	// Regenerating a figure must be deterministic.
+	a, err := study(t).Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := study(t).Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Fig1 not deterministic")
+		}
+	}
+}
+
+func TestBandsCoverAllBenchmarks(t *testing.T) {
+	rows, err := study(t).Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Benchmark] = true
+	}
+	for _, name := range workload.Names() {
+		if !seen[name] {
+			t.Errorf("benchmark %s missing from Fig 5", name)
+		}
+	}
+}
+
+func TestExportWritesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := study(t).Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig1.csv", "fig3.csv", "fig4.csv", "fig5.csv", "fig6.csv", "fig7.csv",
+		"table1.csv", "table2.csv", "cooling.csv", "coldtall.csv", "reliability.csv",
+	}
+	for _, name := range want {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		lines := strings.Count(string(b), "\n")
+		if lines < 2 {
+			t.Errorf("%s has %d lines, want header + data", name, lines)
+		}
+	}
+}
+
+func TestExportFig5CSVShape(t *testing.T) {
+	dir := t.TempDir()
+	if err := study(t).Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(string(b)))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1+4*23 {
+		t.Errorf("fig5.csv has %d records, want header + 92", len(recs))
+	}
+	if recs[0][0] != "design_point" {
+		t.Errorf("unexpected header %v", recs[0])
+	}
+}
