@@ -1,0 +1,35 @@
+# Developer entry points. `make check` is the gate the parallel sweep
+# engine must pass: vet clean, gofmt clean, and the full test suite under
+# the race detector (the concurrency tests force multi-worker pools, so
+# the parallel paths execute even on a single-CPU runner).
+
+GO ?= go
+
+.PHONY: build test check vet fmtcheck race bench golden-update
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race ./...
+
+check: vet fmtcheck race
+
+# Sweep-engine speedup benchmarks (serial vs parallel full-grid sweep).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateAll' -benchtime 3x .
+
+# Refresh the golden CSV snapshots after an intentional model change, then
+# review the diff under testdata/golden/ like any other code change.
+golden-update:
+	$(GO) test -run Golden -update .

@@ -348,6 +348,42 @@ func BenchmarkAblationCoolingCapacity(b *testing.B) {
 	}
 }
 
+// --- Sweep engine: serial vs parallel grid evaluation.
+
+// evaluateAllGrid is the Table II point set crossed with the full
+// 23-benchmark suite — the heaviest single sweep in the study.
+func evaluateAllGrid(b *testing.B) ([]explorer.DesignPoint, []workload.Traffic) {
+	b.Helper()
+	points, err := explorer.TableIICandidates()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return points, workload.StaticTraffic()
+}
+
+// benchmarkEvaluateAll measures a cold full-grid sweep at a fixed worker
+// count: every iteration starts from an empty characterization cache, so
+// the timing includes the array optimizations the pool actually spreads
+// across cores. Compare Serial vs Parallel for the engine's speedup; on a
+// single-core runner the two are expected to tie (the pool degrades to the
+// serial path when only one CPU is available to the 0 = per-CPU setting,
+// and goroutines cannot beat one core on CPU-bound work).
+func benchmarkEvaluateAll(b *testing.B, workers int) {
+	points, traffics := evaluateAllGrid(b)
+	b.ReportMetric(float64(len(points)*len(traffics)), "grid-cells")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := explorer.New()
+		e.Workers = workers
+		if _, err := e.EvaluateAll(points, traffics); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateAllSerial(b *testing.B)   { benchmarkEvaluateAll(b, 1) }
+func BenchmarkEvaluateAllParallel(b *testing.B) { benchmarkEvaluateAll(b, 0) }
+
 // --- Substrate micro-benchmarks.
 
 // BenchmarkArrayOptimize measures one full organization search (the

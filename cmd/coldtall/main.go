@@ -29,6 +29,8 @@
 //
 //	-cooler 100kW|1kW|100W|10W   cryocooler class (default 100kW)
 //	-plot=false                  suppress ASCII scatter plots
+//	-workers N                   sweep worker pool size (0 = one per CPU,
+//	                             1 = serial; outputs identical either way)
 package main
 
 import (
@@ -58,6 +60,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("coldtall", flag.ContinueOnError)
 	cooler := fs.String("cooler", "100kW", "cryocooler class: 100kW, 1kW, 100W, 10W")
 	plot := fs.Bool("plot", true, "render ASCII scatter plots for fig5/fig7")
+	workers := fs.Int("workers", 0, "sweep worker pool size: 0 = one per CPU, 1 = serial")
 	outDir := fs.String("dir", "out", "export: output directory for CSV files")
 	configPath := fs.String("config", "", "eval: path to a JSON study config")
 	cellName := fs.String("cell", "SRAM", "sweep: cell technology (SRAM, 3T-eDRAM, PCM, STT-RAM, RRAM, SOT-RAM)")
@@ -82,6 +85,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	study.SetParallelism(*workers)
 
 	switch cmd {
 	case "fig1":

@@ -60,6 +60,21 @@ func TestRunFig1(t *testing.T) {
 	}
 }
 
+// TestRunWorkersFlag pins the CLI determinism contract: the same artifact
+// rendered serially and with a forced worker pool is byte-identical.
+func TestRunWorkersFlag(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run([]string{"fig1", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fig1", "-workers", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Error("fig1 output differs between -workers 1 and -workers 8")
+	}
+}
+
 func TestRunSweep(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"sweep", "-cell", "PCM", "-corner", "optimistic", "-dies", "8"}, &b); err != nil {

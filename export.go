@@ -5,42 +5,66 @@ import (
 	"os"
 	"path/filepath"
 
+	"coldtall/internal/parallel"
 	"coldtall/internal/report"
 )
+
+// exportArtifact is one Export output: a file name and its builder.
+type exportArtifact struct {
+	name  string
+	build func() (*report.Table, error)
+}
+
+// exportArtifacts lists every CSV artifact in paper order. Order matters
+// twice: files are written in this order, and a serial export builds them
+// in this order — the parallel export must be indistinguishable.
+func (s *Study) exportArtifacts() []exportArtifact {
+	return []exportArtifact{
+		{"fig1.csv", s.fig1CSV},
+		{"fig3.csv", s.fig3CSV},
+		{"fig4.csv", s.fig4CSV},
+		{"fig5.csv", func() (*report.Table, error) { return s.trafficCSV(s.Fig5) }},
+		{"fig6.csv", s.fig6CSV},
+		{"fig7.csv", func() (*report.Table, error) { return s.trafficCSV(s.Fig7) }},
+		{"table1.csv", table1CSV},
+		{"table2.csv", s.table2CSV},
+		{"cooling.csv", s.coolingCSV},
+		{"coldtall.csv", s.coldAndTallCSV},
+		{"reliability.csv", s.reliabilityCSV},
+	}
+}
 
 // Export writes every figure and table as CSV files into dir (created if
 // missing): fig1.csv, fig3.csv, fig4.csv, fig5.csv, fig6.csv, fig7.csv,
 // table1.csv, table2.csv, cooling.csv, coldtall.csv, reliability.csv —
 // ready for external plotting against the paper's figures.
+//
+// Independent artifacts build concurrently on the study's worker pool
+// (SetParallelism); the files themselves are written serially in paper
+// order, and their contents are identical at any parallelism setting.
 func (s *Study) Export(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	files := map[string]func() (*report.Table, error){
-		"fig1.csv":        s.fig1CSV,
-		"fig3.csv":        s.fig3CSV,
-		"fig4.csv":        s.fig4CSV,
-		"fig5.csv":        func() (*report.Table, error) { return s.trafficCSV(s.Fig5) },
-		"fig6.csv":        s.fig6CSV,
-		"fig7.csv":        func() (*report.Table, error) { return s.trafficCSV(s.Fig7) },
-		"table1.csv":      table1CSV,
-		"table2.csv":      s.table2CSV,
-		"cooling.csv":     s.coolingCSV,
-		"coldtall.csv":    s.coldAndTallCSV,
-		"reliability.csv": s.reliabilityCSV,
-	}
-	for name, build := range files {
-		t, err := build()
+	artifacts := s.exportArtifacts()
+	tables, err := parallel.Map(len(artifacts), s.parallelism, func(i int) (*report.Table, error) {
+		t, err := artifacts[i].build()
 		if err != nil {
-			return fmt.Errorf("building %s: %w", name, err)
+			return nil, fmt.Errorf("building %s: %w", artifacts[i].name, err)
 		}
-		f, err := os.Create(filepath.Join(dir, name))
+		return t, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, a := range artifacts {
+		f, err := os.Create(filepath.Join(dir, a.name))
 		if err != nil {
 			return err
 		}
-		if err := t.RenderCSV(f); err != nil {
+		if err := tables[i].RenderCSV(f); err != nil {
 			f.Close()
-			return fmt.Errorf("writing %s: %w", name, err)
+			return fmt.Errorf("writing %s: %w", a.name, err)
 		}
 		if err := f.Close(); err != nil {
 			return err

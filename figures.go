@@ -6,6 +6,7 @@ import (
 	"coldtall/internal/cell"
 	"coldtall/internal/cryo"
 	"coldtall/internal/explorer"
+	"coldtall/internal/parallel"
 	"coldtall/internal/tech"
 	"coldtall/internal/workload"
 )
@@ -32,20 +33,19 @@ func (s *Study) Fig1() ([]Fig1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig1Row
-	for _, temp := range cryo.EffectiveTemperatures() {
-		ev, err := s.exp.Evaluate(explorer.SRAMAt(temp), tr)
+	temps := cryo.EffectiveTemperatures()
+	return parallel.Map(len(temps), s.parallelism, func(i int) (Fig1Row, error) {
+		ev, err := s.exp.Evaluate(explorer.SRAMAt(temps[i]), tr)
 		if err != nil {
-			return nil, err
+			return Fig1Row{}, err
 		}
 		rel := explorer.Normalize(ev, base)
-		rows = append(rows, Fig1Row{
-			TemperatureK:   temp,
+		return Fig1Row{
+			TemperatureK:   temps[i],
 			RelDevicePower: rel.RelDevicePower,
 			RelTotalPower:  rel.RelPower,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Fig3Row is one (cell, temperature) point of Fig. 3: array-level
@@ -70,32 +70,31 @@ func (s *Study) Fig3() ([]Fig3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig3Row
-	for _, temp := range cryo.EffectiveTemperatures() {
-		for _, mk := range []func(float64) explorer.DesignPoint{explorer.SRAMAt, explorer.EDRAMAt} {
-			p := mk(temp)
-			r, err := s.exp.Characterize(p)
-			if err != nil {
-				return nil, err
-			}
-			relRefresh := 0.0
-			if baseArr.LeakagePower > 0 {
-				relRefresh = r.RefreshPower / baseArr.LeakagePower
-			}
-			rows = append(rows, Fig3Row{
-				Cell:            p.Cell.Tech.String(),
-				TemperatureK:    temp,
-				RelReadLatency:  r.ReadLatency / baseArr.ReadLatency,
-				RelWriteLatency: r.WriteLatency / baseArr.WriteLatency,
-				RelReadEnergy:   r.ReadEnergyPerBit / baseArr.ReadEnergyPerBit,
-				RelWriteEnergy:  r.WriteEnergyPerBit / baseArr.WriteEnergyPerBit,
-				RelLeakagePower: r.LeakagePower / baseArr.LeakagePower,
-				RelRefreshPower: relRefresh,
-				RetentionS:      r.Retention,
-			})
+	temps := cryo.EffectiveTemperatures()
+	mks := []func(float64) explorer.DesignPoint{explorer.SRAMAt, explorer.EDRAMAt}
+	return parallel.Map(len(temps)*len(mks), s.parallelism, func(i int) (Fig3Row, error) {
+		temp := temps[i/len(mks)]
+		p := mks[i%len(mks)](temp)
+		r, err := s.exp.Characterize(p)
+		if err != nil {
+			return Fig3Row{}, err
 		}
-	}
-	return rows, nil
+		relRefresh := 0.0
+		if baseArr.LeakagePower > 0 {
+			relRefresh = r.RefreshPower / baseArr.LeakagePower
+		}
+		return Fig3Row{
+			Cell:            p.Cell.Tech.String(),
+			TemperatureK:    temp,
+			RelReadLatency:  r.ReadLatency / baseArr.ReadLatency,
+			RelWriteLatency: r.WriteLatency / baseArr.WriteLatency,
+			RelReadEnergy:   r.ReadEnergyPerBit / baseArr.ReadEnergyPerBit,
+			RelWriteEnergy:  r.WriteEnergyPerBit / baseArr.WriteEnergyPerBit,
+			RelLeakagePower: r.LeakagePower / baseArr.LeakagePower,
+			RelRefreshPower: relRefresh,
+			RetentionS:      r.Retention,
+		}, nil
+	})
 }
 
 // Fig4Row is one (benchmark, cell) group of Fig. 4: total LLC power at
@@ -114,31 +113,31 @@ func (s *Study) Fig4() ([]Fig4Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig4Row
-	for _, bench := range []string{"namd", "leela"} {
+	benches := []string{"namd", "leela"}
+	mks := []func(float64) explorer.DesignPoint{explorer.SRAMAt, explorer.EDRAMAt}
+	return parallel.Map(len(benches)*len(mks), s.parallelism, func(i int) (Fig4Row, error) {
+		bench := benches[i/len(mks)]
+		mk := mks[i%len(mks)]
 		tr, err := trafficFor(bench)
 		if err != nil {
-			return nil, err
+			return Fig4Row{}, err
 		}
-		for _, mk := range []func(float64) explorer.DesignPoint{explorer.SRAMAt, explorer.EDRAMAt} {
-			warm, err := s.exp.Evaluate(mk(tech.TempHot350), tr)
-			if err != nil {
-				return nil, err
-			}
-			cold, err := s.exp.Evaluate(mk(tech.TempCryo77), tr)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig4Row{
-				Benchmark:    bench,
-				Cell:         warm.Point.Cell.Tech.String(),
-				Rel350K:      warm.DevicePower / base.TotalPower,
-				Rel77K:       cold.DevicePower / base.TotalPower,
-				Rel77KCooled: cold.TotalPower / base.TotalPower,
-			})
+		warm, err := s.exp.Evaluate(mk(tech.TempHot350), tr)
+		if err != nil {
+			return Fig4Row{}, err
 		}
-	}
-	return rows, nil
+		cold, err := s.exp.Evaluate(mk(tech.TempCryo77), tr)
+		if err != nil {
+			return Fig4Row{}, err
+		}
+		return Fig4Row{
+			Benchmark:    bench,
+			Cell:         warm.Point.Cell.Tech.String(),
+			Rel350K:      warm.DevicePower / base.TotalPower,
+			Rel77K:       cold.DevicePower / base.TotalPower,
+			Rel77KCooled: cold.TotalPower / base.TotalPower,
+		}, nil
+	})
 }
 
 // TrafficRow is one (design point, benchmark) point of the Fig. 5 / Fig. 7
@@ -186,19 +185,23 @@ func (s *Study) Fig7() ([]TrafficRow, error) {
 }
 
 // trafficStudy evaluates points across the whole static suite, normalized
-// to the namd/350 K-SRAM baseline.
+// to the namd/350 K-SRAM baseline. The points×benchmarks grid fans out
+// through the explorer's worker pool; rows keep the serial order (each
+// point's benchmarks ascending by read rate).
 func (s *Study) trafficStudy(points []explorer.DesignPoint) ([]TrafficRow, error) {
 	base, err := s.baseline()
 	if err != nil {
 		return nil, err
 	}
-	var rows []TrafficRow
-	for _, p := range points {
-		for _, tr := range workload.SortedByReads() {
-			ev, err := s.exp.Evaluate(p, tr)
-			if err != nil {
-				return nil, err
-			}
+	traffics := workload.SortedByReads()
+	grid, err := s.exp.EvaluateAll(points, traffics)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TrafficRow, 0, len(points)*len(traffics))
+	for i, p := range points {
+		for j, tr := range traffics {
+			ev := grid[i][j]
 			rel := explorer.Normalize(ev, base)
 			rows = append(rows, TrafficRow{
 				Label:          p.Label,
@@ -243,11 +246,11 @@ func (s *Study) Fig6() ([]Fig6Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig6Row
-	for _, p := range points {
+	return parallel.Map(len(points), s.parallelism, func(i int) (Fig6Row, error) {
+		p := points[i]
 		r, err := s.exp.Characterize(p)
 		if err != nil {
-			return nil, err
+			return Fig6Row{}, err
 		}
 		// Corner is encoded in the tentpole cell name suffix; SRAM has
 		// no tentpole corner.
@@ -260,7 +263,7 @@ func (s *Study) Fig6() ([]Fig6Row, error) {
 				corner = cell.Optimistic.String()
 			}
 		}
-		rows = append(rows, Fig6Row{
+		return Fig6Row{
 			Label:           p.Label,
 			Tech:            p.Cell.Tech.String(),
 			Corner:          corner,
@@ -271,7 +274,6 @@ func (s *Study) Fig6() ([]Fig6Row, error) {
 			RelReadLatency:  r.ReadLatency / baseArr.ReadLatency,
 			RelWriteLatency: r.WriteLatency / baseArr.WriteLatency,
 			RelLeakagePower: r.LeakagePower / baseArr.LeakagePower,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

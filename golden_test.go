@@ -1,0 +1,151 @@
+package coldtall
+
+// Golden regression harness: the CSV artifacts of Fig. 1–7 and Tables I–II
+// are pinned byte for byte under testdata/golden/. The harness asserts two
+// properties at once:
+//
+//  1. Regression: a serial study reproduces the committed snapshots, so any
+//     change to the model's numbers is a visible diff, not a silent drift.
+//  2. Determinism: a parallel study (forced worker pool, even on one CPU)
+//     produces byte-identical artifacts — the worker pool may change
+//     wall-clock time, never output.
+//
+// Refresh the snapshots after an intentional model change with
+//
+//	go test -run Golden -update
+//
+// and review the CSV diff like any other code change.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden CSV snapshots")
+
+// goldenNames are the artifacts pinned under testdata/golden — the paper's
+// figures and tables (the extension studies have their own tests).
+var goldenNames = map[string]bool{
+	"fig1.csv": true, "fig3.csv": true, "fig4.csv": true,
+	"fig5.csv": true, "fig6.csv": true, "fig7.csv": true,
+	"table1.csv": true, "table2.csv": true,
+}
+
+// buildArtifacts renders every golden-pinned CSV from one study.
+func buildArtifacts(t *testing.T, s *Study) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, a := range s.exportArtifacts() {
+		if !goldenNames[a.name] {
+			continue
+		}
+		tab, err := a.build()
+		if err != nil {
+			t.Fatalf("building %s: %v", a.name, err)
+		}
+		var buf bytes.Buffer
+		if err := tab.RenderCSV(&buf); err != nil {
+			t.Fatalf("rendering %s: %v", a.name, err)
+		}
+		out[a.name] = buf.Bytes()
+	}
+	return out
+}
+
+func goldenPath(name string) string { return filepath.Join("testdata", "golden", name) }
+
+func TestGoldenArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+
+	serial := NewStudy()
+	serial.SetParallelism(1)
+	got := buildArtifacts(t, serial)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range got {
+			if err := os.WriteFile(goldenPath(name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d golden snapshots", len(got))
+	}
+
+	for name, data := range got {
+		want, err := os.ReadFile(goldenPath(name))
+		if err != nil {
+			t.Fatalf("missing golden for %s (regenerate with -update): %v", name, err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("%s drifted from golden snapshot (%d bytes vs %d); diff the CSVs and run with -update if intentional",
+				name, len(data), len(want))
+		}
+	}
+}
+
+// TestExportParallelism is the determinism contract of the sweep engine: a
+// full Export with a forced multi-worker pool (8 workers rather than
+// GOMAXPROCS, so the concurrent paths execute even on a 1-CPU runner) is
+// byte-identical to the serial Export, and the golden subset matches the
+// committed snapshots. A divergence here means an ordering or dedup bug in
+// the worker pool, not a model change.
+func TestExportParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full exports in -short mode")
+	}
+
+	dirSer := t.TempDir()
+	ser := NewStudy()
+	ser.SetParallelism(1)
+	if err := ser.Export(dirSer); err != nil {
+		t.Fatal(err)
+	}
+
+	dirPar := t.TempDir()
+	par := NewStudy()
+	par.SetParallelism(8)
+	if err := par.Export(dirPar); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dirSer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("serial export wrote nothing")
+	}
+	for _, e := range entries {
+		s, err := os.ReadFile(filepath.Join(dirSer, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := os.ReadFile(filepath.Join(dirPar, e.Name()))
+		if err != nil {
+			t.Fatalf("parallel export missing %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(s, p) {
+			t.Errorf("%s: serial and parallel Export differ", e.Name())
+		}
+		if goldenNames[e.Name()] {
+			want, err := os.ReadFile(goldenPath(e.Name()))
+			if err != nil {
+				t.Fatalf("missing golden for %s: %v", e.Name(), err)
+			}
+			if !bytes.Equal(s, want) {
+				t.Errorf("%s: exported file drifted from golden snapshot", e.Name())
+			}
+		}
+	}
+	if got := fmt.Sprintf("%d", len(entries)); got != "11" {
+		t.Errorf("export wrote %s files, want 11", got)
+	}
+}

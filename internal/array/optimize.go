@@ -2,9 +2,9 @@ package array
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
+
+	"coldtall/internal/parallel"
 )
 
 // search space for the organization sweep (CACTI's Ndwl/Ndbl/Nspd analogue).
@@ -33,41 +33,15 @@ func candidates() []Organization {
 // Optimize sweeps internal organizations and returns the characterization
 // of the best one under cfg.Target, mirroring the exhaustive organization
 // search CACTI/NVSim/Destiny perform per configuration. Candidates are
-// evaluated in parallel; the reduction is sequential over the fixed
-// enumeration order, so the result is deterministic.
+// evaluated on the shared worker pool (internal/parallel); the reduction is
+// sequential over the fixed enumeration order, so the result is
+// deterministic. Infeasible organizations are skipped, not errors.
 func Optimize(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	orgs := candidates()
-	results := make([]*Result, len(orgs))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(orgs) {
-		workers = len(orgs)
-	}
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if _, err := cfg.derive(orgs[i]); err != nil {
-					continue
-				}
-				r, err := Characterize(cfg, orgs[i])
-				if err != nil {
-					continue
-				}
-				results[i] = &r
-			}
-		}()
-	}
-	for i := range orgs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	results := characterizeAll(cfg, orgs)
 
 	var best Result
 	found := false
@@ -87,6 +61,26 @@ func Optimize(cfg Config) (Result, error) {
 	return best, nil
 }
 
+// characterizeAll evaluates every candidate organization on the shared
+// worker pool, returning results indexed by enumeration position (nil for
+// infeasible organizations). Both Optimize and Pareto reduce over this.
+func characterizeAll(cfg Config, orgs []Organization) []*Result {
+	results := make([]*Result, len(orgs))
+	// Per-item errors mean "infeasible, skip" here, so fn never fails.
+	_ = parallel.ForEach(len(orgs), 0, func(i int) error {
+		if _, err := cfg.derive(orgs[i]); err != nil {
+			return nil
+		}
+		r, err := Characterize(cfg, orgs[i])
+		if err != nil {
+			return nil
+		}
+		results[i] = &r
+		return nil
+	})
+	return results
+}
+
 // SearchSpaceSize returns the number of candidate organizations Optimize
 // enumerates (before feasibility filtering).
 func SearchSpaceSize() int {
@@ -96,20 +90,17 @@ func SearchSpaceSize() int {
 // Pareto returns all feasible organizations that are Pareto-optimal in
 // (read latency, mean access energy, footprint), sorted by read latency.
 // It exposes the design space the single-objective Optimize collapses.
+// Candidates are characterized on the shared worker pool; the dominance
+// filter runs over the enumeration order, so the front is deterministic.
 func Pareto(cfg Config) ([]Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	var all []Result
-	for _, org := range candidates() {
-		if _, err := cfg.derive(org); err != nil {
-			continue
+	for _, r := range characterizeAll(cfg, candidates()) {
+		if r != nil {
+			all = append(all, *r)
 		}
-		r, err := Characterize(cfg, org)
-		if err != nil {
-			continue
-		}
-		all = append(all, r)
 	}
 	if len(all) == 0 {
 		return nil, fmt.Errorf("array: no feasible organization for %s", cfg.Cell.Name)

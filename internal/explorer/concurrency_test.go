@@ -1,0 +1,153 @@
+package explorer
+
+// Concurrency tests for the sweep engine: these are written to be run under
+// the race detector (make check runs go test -race ./...), and they force
+// multi-worker pools explicitly so the concurrent paths execute even when
+// GOMAXPROCS is 1.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"coldtall/internal/array"
+	"coldtall/internal/tech"
+	"coldtall/internal/workload"
+)
+
+// TestCharacterizeSingleflight pins the duplicate-compute fix: N concurrent
+// callers of the same design point must share exactly one array.Optimize
+// invocation. Before the singleflight guard, every caller that missed the
+// cache raced into its own optimization.
+func TestCharacterizeSingleflight(t *testing.T) {
+	e := New()
+	p := Baseline()
+	const n = 16
+
+	start := make(chan struct{})
+	results := make([]array.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start // line every caller up on the same cold cache
+			results[i], errs[i] = e.Characterize(p)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("caller %d got a different characterization", i)
+		}
+	}
+	if got := e.optimizeCalls.Load(); got != 1 {
+		t.Errorf("array.Optimize ran %d times for %d concurrent callers of one point, want 1", got, n)
+	}
+
+	// A later caller hits the cache without a new optimization.
+	if _, err := e.Characterize(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.optimizeCalls.Load(); got != 1 {
+		t.Errorf("cache hit re-ran Optimize (%d calls)", got)
+	}
+}
+
+// TestCharacterizeDistinctPointsConcurrently checks that the singleflight
+// guard does not serialize unrelated points: each key optimizes once, and
+// no goroutine blocks another key's computation (the race detector guards
+// the cache accesses).
+func TestCharacterizeDistinctPointsConcurrently(t *testing.T) {
+	e := New()
+	points := []DesignPoint{
+		Baseline(),
+		SRAMAt(tech.TempCryo77),
+		EDRAMAt(tech.TempHot350),
+		EDRAMAt(tech.TempCryo77),
+	}
+	const callersPerPoint = 4
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for range [callersPerPoint]struct{}{} {
+		for _, p := range points {
+			wg.Add(1)
+			go func(p DesignPoint) {
+				defer wg.Done()
+				<-start
+				if _, err := e.Characterize(p); err != nil {
+					t.Error(err)
+				}
+			}(p)
+		}
+	}
+	close(start)
+	wg.Wait()
+
+	if got := e.optimizeCalls.Load(); got != int64(len(points)) {
+		t.Errorf("Optimize ran %d times for %d distinct points, want one each", got, len(points))
+	}
+}
+
+// TestEvaluateAllParallelMatchesSerial is the engine's determinism
+// contract at the grid level: the same grid evaluated serially and on a
+// forced 8-worker pool must be deeply equal, cell for cell.
+func TestEvaluateAllParallelMatchesSerial(t *testing.T) {
+	points := []DesignPoint{Baseline(), SRAMAt(tech.TempCryo77), EDRAMAt(tech.TempCryo77)}
+	traffics := workload.StaticTraffic()[:5]
+
+	serial := New()
+	serial.Workers = 1
+	want, err := serial.EvaluateAll(points, traffics)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := New()
+	par.Workers = 8
+	got, err := par.EvaluateAll(points, traffics)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Error("parallel EvaluateAll diverged from the serial walk")
+	}
+}
+
+// TestEvaluateConcurrentMixedPoints hammers Evaluate (which reaches the
+// cache through both Characterize and the slowdown baseline) from many
+// goroutines — a pure race-detector workout for the evaluation path.
+func TestEvaluateConcurrentMixedPoints(t *testing.T) {
+	e := New()
+	e.Workers = 8
+	points := []DesignPoint{Baseline(), EDRAMAt(tech.TempCryo77)}
+	traffics := workload.StaticTraffic()[:4]
+
+	var wg sync.WaitGroup
+	for _, p := range points {
+		for _, tr := range traffics {
+			wg.Add(1)
+			go func(p DesignPoint, tr workload.Traffic) {
+				defer wg.Done()
+				if _, err := e.Evaluate(p, tr); err != nil {
+					t.Error(err)
+				}
+			}(p, tr)
+		}
+	}
+	wg.Wait()
+
+	// Three unique characterizations: the two points plus the slowdown
+	// baseline shared by every cell (Baseline is one of the points here).
+	if got := e.optimizeCalls.Load(); got != 2 {
+		t.Errorf("Optimize ran %d times, want 2 (one per unique point)", got)
+	}
+}

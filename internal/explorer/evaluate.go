@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"coldtall/internal/array"
 	"coldtall/internal/cryo"
+	"coldtall/internal/parallel"
 	"coldtall/internal/reliability"
 	"coldtall/internal/tech"
 	"coldtall/internal/workload"
@@ -55,12 +57,31 @@ type Evaluation struct {
 
 // Explorer evaluates design points under workloads. The zero value is not
 // usable; construct with New.
+//
+// An Explorer is safe for concurrent use: the characterization cache is
+// singleflight-guarded, so concurrent callers of the same design point share
+// one array optimization, and EvaluateAll fans the points×benchmarks grid
+// out over a bounded worker pool with deterministic output ordering.
 type Explorer struct {
 	// Cooling is the cryogenic environment.
 	Cooling cryo.Cooling
 
+	// Workers bounds the sweep worker pool: 0 (the default) means one
+	// worker per available CPU, 1 forces the serial path. Set it before
+	// the first sweep; it is not synchronized.
+	Workers int
+
 	mu    sync.Mutex
 	cache map[string]array.Result
+
+	// flight deduplicates in-flight characterizations so the expensive
+	// array.Optimize search runs at most once per design-point key even
+	// under concurrent callers.
+	flight parallel.Flight[array.Result]
+
+	// optimizeCalls counts actual array.Optimize invocations (cache and
+	// flight hits excluded) — observable via the concurrency tests.
+	optimizeCalls atomic.Int64
 }
 
 // New returns an Explorer with the paper's default cooling (100 kW-class
@@ -83,7 +104,9 @@ func WithCooling(c cryo.Cooling) (*Explorer, error) {
 }
 
 // Characterize runs (and caches) the EDP-optimized array characterization
-// of a design point.
+// of a design point. Concurrent callers of the same point share a single
+// in-flight optimization: the first caller computes, the rest wait on it,
+// so a cold sweep never runs the expensive search twice for one key.
 func (e *Explorer) Characterize(p DesignPoint) (array.Result, error) {
 	if err := p.Validate(); err != nil {
 		return array.Result{}, err
@@ -95,14 +118,25 @@ func (e *Explorer) Characterize(p DesignPoint) (array.Result, error) {
 	if ok {
 		return r, nil
 	}
-	r, err := array.Optimize(p.arrayConfig())
-	if err != nil {
-		return array.Result{}, fmt.Errorf("explorer: characterizing %s: %w", p.Label, err)
-	}
-	e.mu.Lock()
-	e.cache[key] = r
-	e.mu.Unlock()
-	return r, nil
+	return e.flight.Do(key, func() (array.Result, error) {
+		// Re-check under the flight: a previous flight for this key may
+		// have filled the cache between our miss and winning the flight.
+		e.mu.Lock()
+		r, ok := e.cache[key]
+		e.mu.Unlock()
+		if ok {
+			return r, nil
+		}
+		e.optimizeCalls.Add(1)
+		r, err := array.Optimize(p.arrayConfig())
+		if err != nil {
+			return array.Result{}, fmt.Errorf("explorer: characterizing %s: %w", p.Label, err)
+		}
+		e.mu.Lock()
+		e.cache[key] = r
+		e.mu.Unlock()
+		return r, nil
+	})
 }
 
 // Evaluate computes the application-level metrics of one design point under
@@ -191,19 +225,26 @@ func lifetimeYears(r array.Result, p DesignPoint, tr workload.Traffic) float64 {
 }
 
 // EvaluateAll crosses design points with benchmarks; results are indexed
-// [point][benchmark] following the input orders.
+// [point][benchmark] following the input orders. The grid is evaluated on
+// the explorer's worker pool (Workers knob); cells land at their input
+// positions, so the output is identical to the serial walk cell for cell.
 func (e *Explorer) EvaluateAll(points []DesignPoint, traffics []workload.Traffic) ([][]Evaluation, error) {
 	out := make([][]Evaluation, len(points))
-	for i, p := range points {
-		row := make([]Evaluation, len(traffics))
-		for j, tr := range traffics {
-			ev, err := e.Evaluate(p, tr)
-			if err != nil {
-				return nil, err
-			}
-			row[j] = ev
+	for i := range out {
+		out[i] = make([]Evaluation, len(traffics))
+	}
+	cols := len(traffics)
+	err := parallel.ForEach(len(points)*cols, e.Workers, func(cell int) error {
+		i, j := cell/cols, cell%cols
+		ev, err := e.Evaluate(points[i], traffics[j])
+		if err != nil {
+			return err
 		}
-		out[i] = row
+		out[i][j] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"coldtall/internal/parallel"
 	"coldtall/internal/workload"
 )
 
@@ -78,6 +79,14 @@ func (o Objective) metric(ev Evaluation) float64 {
 // benchmark, as the paper summarizes each regime by its most demanding
 // members.
 func (e *Explorer) OptimalChoice(b workload.Band, obj Objective) (Choice, error) {
+	return e.choose(b, obj, func(DesignPoint) bool { return true })
+}
+
+// choose ranks the Table II candidates passing keep under one band and
+// objective. Candidates are evaluated on the explorer's worker pool;
+// ranking runs over the input-ordered results, so the selection matches the
+// serial walk exactly.
+func (e *Explorer) choose(b workload.Band, obj Objective, keep func(DesignPoint) bool) (Choice, error) {
 	rep, err := workload.Representative(b)
 	if err != nil {
 		return Choice{}, err
@@ -86,15 +95,19 @@ func (e *Explorer) OptimalChoice(b workload.Band, obj Objective) (Choice, error)
 	if err != nil {
 		return Choice{}, err
 	}
-	evals := make([]Evaluation, 0, len(points))
+	kept := points[:0]
 	for _, p := range points {
-		ev, err := e.Evaluate(p, rep)
-		if err != nil {
-			return Choice{}, err
+		if keep(p) {
+			kept = append(kept, p)
 		}
-		evals = append(evals, ev)
 	}
-	sort.Slice(evals, func(i, j int) bool {
+	evals, err := parallel.Map(len(kept), e.Workers, func(i int) (Evaluation, error) {
+		return e.Evaluate(kept[i], rep)
+	})
+	if err != nil {
+		return Choice{}, err
+	}
+	sort.SliceStable(evals, func(i, j int) bool {
 		return obj.metric(evals[i]) < obj.metric(evals[j])
 	})
 	choice := Choice{
@@ -141,41 +154,7 @@ func altEligible(obj Objective, winner, alt Evaluation) bool {
 // 3T-eDRAM's latency advantage would otherwise win the low-traffic bands
 // (see EXPERIMENTS.md).
 func (e *Explorer) Optimal3DChoice(b workload.Band, obj Objective) (Choice, error) {
-	rep, err := workload.Representative(b)
-	if err != nil {
-		return Choice{}, err
-	}
-	points, err := TableIICandidates()
-	if err != nil {
-		return Choice{}, err
-	}
-	var evals []Evaluation
-	for _, p := range points {
-		if p.Temperature < 300 {
-			continue
-		}
-		ev, err := e.Evaluate(p, rep)
-		if err != nil {
-			return Choice{}, err
-		}
-		evals = append(evals, ev)
-	}
-	sort.Slice(evals, func(i, j int) bool {
-		return obj.metric(evals[i]) < obj.metric(evals[j])
-	})
-	choice := Choice{Band: b, Objective: obj, Representative: rep, Winner: evals[0]}
-	if evals[0].LifetimeYears < EnduranceThresholdYears {
-		choice.EnduranceConcern = true
-		for i := 1; i < len(evals); i++ {
-			alt := evals[i]
-			if !altEligible(obj, evals[0], alt) {
-				continue
-			}
-			choice.Alternative = &alt
-			break
-		}
-	}
-	return choice, nil
+	return e.choose(b, obj, func(p DesignPoint) bool { return p.Temperature >= 300 })
 }
 
 // TableII computes the full optimal-LLC summary: every band crossed with

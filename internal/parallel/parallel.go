@@ -1,0 +1,170 @@
+// Package parallel provides the concurrency primitives every sweep in the
+// repository runs on: a bounded worker pool with deterministic output
+// ordering, and a singleflight group that deduplicates concurrent
+// computations of the same key. Centralizing them keeps the parallel code
+// paths small, audited, and race-detector-clean in one place.
+//
+// The primitives are deliberately deterministic at the output level: ForEach
+// and Map index results by input position, so a parallel sweep produces
+// byte-identical artifacts to its serial equivalent no matter how the
+// scheduler interleaves the workers. That property is what the golden
+// regression tests at the repository root pin down.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count knob: values below 1 (the zero value of
+// a config field) mean "one worker per available CPU", anything else is
+// taken literally. Every layer exposing a parallelism knob funnels it
+// through this so 0 always means "as parallel as the hardware allows" and 1
+// always means "serial".
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for i in [0, n) on at most workers goroutines
+// (normalized through Workers) and returns the first error by input order.
+// Work is handed out through a single shared index so the pool load-balances
+// uneven items; callers write results into position i of a pre-sized slice,
+// which keeps output ordering deterministic regardless of scheduling.
+//
+// All n items are attempted even after a failure — items are independent in
+// every sweep here, and finishing the batch keeps caches warm for the next
+// call — but the error reported is always the lowest-index one, so the
+// serial and parallel paths surface the same failure.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// The serial path keeps single-threaded callers allocation-free
+		// and is the reference semantics the parallel path must match.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				errs[i] = safeCall(fn, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// safeCall invokes fn(i), converting a panic into an error so one bad item
+// cannot take down the whole pool (and with it every sibling sweep).
+func safeCall(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: item %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// Map runs fn over [0, n) on the pool and collects the results in input
+// order — the ordered-collect primitive the figure sweeps use.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Flight deduplicates concurrent computations of the same key: while one
+// caller computes, every other caller of that key blocks and shares the
+// single result. It is the guard between the explorer's check-then-compute
+// cache gap and the expensive array optimization behind it.
+//
+// Unlike golang.org/x/sync/singleflight (not vendored here), completed
+// flights are forgotten immediately — memoization stays the caller's
+// responsibility, so the explorer's existing cache keeps owning persistence.
+type Flight[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the result of fn for key, executing fn at most once across all
+// concurrent callers of the same key. The first caller runs fn; callers
+// arriving while it is in flight wait and share its result. Callers of
+// distinct keys never block each other.
+func (f *Flight[V]) Do(key string, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[string]*flightCall[V])
+	}
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("parallel: flight %q panicked: %v", key, r)
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+
+	f.mu.Lock()
+	delete(f.m, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}

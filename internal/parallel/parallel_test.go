@@ -1,0 +1,233 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 17} {
+		if got := Workers(n); got != n {
+			t.Errorf("Workers(%d) = %d, want %d", n, got, n)
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 257
+			counts := make([]int32, n)
+			err := ForEach(n, workers, func(i int) error {
+				atomic.AddInt32(&counts[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("index %d visited %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-5, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+// TestForEachFirstErrorByInputOrder pins the determinism contract: no matter
+// which worker fails first in wall-clock time, the reported error is the
+// lowest-index failure — identical to what the serial loop would return.
+func TestForEachFirstErrorByInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			err := ForEach(100, workers, func(i int) error {
+				if i%10 == 3 { // fails at 3, 13, 23, ...
+					return fmt.Errorf("item %d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "item 3" {
+				t.Fatalf("got %v, want item 3", err)
+			}
+		})
+	}
+}
+
+func TestForEachPanicBecomesError(t *testing.T) {
+	err := ForEach(8, 4, func(i int) error {
+		if i == 5 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 32} {
+		got, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapErrorDropsResults(t *testing.T) {
+	sentinel := errors.New("nope")
+	got, err := Map(10, 4, func(i int) (int, error) {
+		if i == 7 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	if got != nil {
+		t.Fatalf("partial results returned alongside error")
+	}
+}
+
+// TestFlightDedupesConcurrentCallers is the core singleflight guarantee: N
+// concurrent callers of one key share exactly one execution.
+func TestFlightDedupesConcurrentCallers(t *testing.T) {
+	var f Flight[int]
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	const n = 32
+
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = f.Do("k", func() (int, error) {
+				calls.Add(1)
+				<-gate // hold the flight open until every caller has queued
+				return 42, nil
+			})
+		}(i)
+	}
+	// Let callers pile up behind the in-flight computation, then release.
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn executed %d times for one key, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || results[i] != 42 {
+			t.Fatalf("caller %d: got (%d, %v), want (42, nil)", i, results[i], errs[i])
+		}
+	}
+}
+
+func TestFlightDistinctKeysDoNotBlock(t *testing.T) {
+	var f Flight[string]
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			v, err := f.Do(key, func() (string, error) { return key, nil })
+			if err != nil || v != key {
+				t.Errorf("key %s: got (%q, %v)", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestFlightErrorShared(t *testing.T) {
+	var f Flight[int]
+	sentinel := errors.New("optimize failed")
+	gate := make(chan struct{})
+	var started atomic.Bool
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.Do("k", func() (int, error) {
+				started.Store(true)
+				<-gate
+				return 0, sentinel
+			})
+		}(i)
+	}
+	for !started.Load() {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("caller %d: got %v, want shared sentinel", i, err)
+		}
+	}
+}
+
+func TestFlightForgetsCompletedCalls(t *testing.T) {
+	var f Flight[int]
+	var calls int
+	for i := 0; i < 3; i++ {
+		v, err := f.Do("k", func() (int, error) { calls++; return calls, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i+1 {
+			t.Fatalf("sequential call %d returned %d; completed flights must not memoize", i, v)
+		}
+	}
+}
+
+func TestFlightPanicPropagatesAsError(t *testing.T) {
+	var f Flight[int]
+	_, err := f.Do("k", func() (int, error) { panic("boom") })
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	// The flight must be cleaned up so the key is usable again.
+	v, err := f.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("key unusable after panic: (%d, %v)", v, err)
+	}
+}

@@ -15,9 +15,8 @@ package workload
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"coldtall/internal/parallel"
 	"coldtall/internal/sim"
 	"coldtall/internal/trace"
 )
@@ -215,29 +214,14 @@ func Measure(p Profile, accesses int, seed int64) (Traffic, error) {
 	}, nil
 }
 
-// MeasureAll simulates every benchmark stand-in (in parallel) and returns
-// the traffic table in canonical order — the full Sniper-substitute run the
-// static table is calibrated against.
+// MeasureAll simulates every benchmark stand-in on the shared worker pool
+// and returns the traffic table in canonical order — the full
+// Sniper-substitute run the static table is calibrated against. Each
+// benchmark replays from its own fixed seed, so the table is identical at
+// any worker count.
 func MeasureAll(accesses int, seed int64) ([]Traffic, error) {
 	profiles := Profiles()
-	out := make([]Traffic, len(profiles))
-	errs := make([]error, len(profiles))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, p := range profiles {
-		wg.Add(1)
-		go func(i int, p Profile) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = Measure(p, accesses, seed)
-		}(i, p)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return parallel.Map(len(profiles), 0, func(i int) (Traffic, error) {
+		return Measure(profiles[i], accesses, seed)
+	})
 }

@@ -7,6 +7,7 @@ import (
 
 	"coldtall/internal/cell"
 	"coldtall/internal/explorer"
+	"coldtall/internal/parallel"
 	"coldtall/internal/report"
 	"coldtall/internal/tech"
 	"coldtall/internal/workload"
@@ -46,32 +47,30 @@ func (s *Study) ReliabilityStudy() ([]ReliabilityRow, error) {
 		}
 		points = append(points, p)
 	}
-	var rows []ReliabilityRow
-	for _, b := range workload.Bands() {
+	bands := workload.Bands()
+	return parallel.Map(len(bands)*len(points), s.parallelism, func(i int) (ReliabilityRow, error) {
+		b, p := bands[i/len(points)], points[i%len(points)]
 		rep, err := workload.Representative(b)
 		if err != nil {
-			return nil, err
+			return ReliabilityRow{}, err
 		}
-		for _, p := range points {
-			ev, err := s.exp.Evaluate(p, rep)
-			if err != nil {
-				return nil, err
-			}
-			r, err := ev.Reliability()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, ReliabilityRow{
-				Benchmark:         rep.Benchmark,
-				WritesPerSec:      rep.WritesPerSec,
-				Label:             p.Label,
-				SoftFIT:           r.SoftFIT,
-				WearLifetimeYears: r.WearLifetimeYears,
-				RetentionWeakBits: r.RetentionWeakBitsPerRefresh,
-			})
+		ev, err := s.exp.Evaluate(p, rep)
+		if err != nil {
+			return ReliabilityRow{}, err
 		}
-	}
-	return rows, nil
+		r, err := ev.Reliability()
+		if err != nil {
+			return ReliabilityRow{}, err
+		}
+		return ReliabilityRow{
+			Benchmark:         rep.Benchmark,
+			WritesPerSec:      rep.WritesPerSec,
+			Label:             p.Label,
+			SoftFIT:           r.SoftFIT,
+			WearLifetimeYears: r.WearLifetimeYears,
+			RetentionWeakBits: r.RetentionWeakBitsPerRefresh,
+		}, nil
+	})
 }
 
 // RenderReliability prints the reliability study.

@@ -9,8 +9,16 @@ import (
 // Study regenerates the paper's evaluation. It owns an explorer whose
 // array characterizations are cached, so generating every figure costs each
 // design-point optimization once.
+//
+// Sweeps run on bounded worker pools (see SetParallelism); outputs are
+// deterministic at any worker count — parallel runs are byte-identical to
+// serial ones, a property the golden regression tests pin down.
 type Study struct {
 	exp *explorer.Explorer
+
+	// parallelism bounds every worker pool the study's sweeps use:
+	// 0 means one worker per available CPU, 1 forces the serial path.
+	parallelism int
 }
 
 // NewStudy creates a study with the paper's default environment (100 kW
@@ -31,6 +39,19 @@ func NewStudyWithCooling(c cryo.Cooling) (*Study, error) {
 
 // Explorer exposes the underlying engine for custom sweeps.
 func (s *Study) Explorer() *explorer.Explorer { return s.exp }
+
+// Parallelism reports the study's worker bound: 0 means one worker per
+// available CPU, 1 means serial, anything else is a literal pool size.
+func (s *Study) Parallelism() int { return s.parallelism }
+
+// SetParallelism bounds every worker pool the study's sweeps and Export run
+// on, including the underlying explorer's. Call it before starting sweeps;
+// the knob is not synchronized against sweeps already in flight. Results
+// are identical at any setting — only wall-clock time changes.
+func (s *Study) SetParallelism(n int) {
+	s.parallelism = n
+	s.exp.Workers = n
+}
 
 // baseline returns the universal denominator (350 K SRAM on namd) and its
 // array characterization.

@@ -5,6 +5,7 @@ import (
 
 	"coldtall/internal/cryo"
 	"coldtall/internal/explorer"
+	"coldtall/internal/parallel"
 	"coldtall/internal/sim"
 	"coldtall/internal/workload"
 )
@@ -59,44 +60,43 @@ type Table2Row struct {
 // target, with endurance-aware alternatives, in both the unified view and
 // the 350 K ("Destiny-family") view the paper's performance column uses.
 func (s *Study) Table2() ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, b := range workload.Bands() {
-		for _, obj := range explorer.Objectives() {
-			c, err := s.exp.OptimalChoice(b, obj)
-			if err != nil {
-				return nil, err
-			}
-			c3, err := s.exp.Optimal3DChoice(b, obj)
-			if err != nil {
-				return nil, err
-			}
-			row := Table2Row{
-				Band:             b.String(),
-				Objective:        obj.String(),
-				Winner:           c.Winner.Point.Label,
-				Alternative:      "-",
-				Winner3D:         c3.Winner.Point.Label,
-				Alternative3D:    "-",
-				EnduranceConcern: c.EnduranceConcern,
-			}
-			switch obj {
-			case explorer.ObjPerformance:
-				row.Metric = c.Winner.AggregateLatency
-			case explorer.ObjArea:
-				row.Metric = c.Winner.Array.FootprintM2
-			default:
-				row.Metric = c.Winner.TotalPower
-			}
-			if c.Alternative != nil {
-				row.Alternative = c.Alternative.Point.Label
-			}
-			if c3.Alternative != nil {
-				row.Alternative3D = c3.Alternative.Point.Label
-			}
-			rows = append(rows, row)
+	bands := workload.Bands()
+	objs := explorer.Objectives()
+	return parallel.Map(len(bands)*len(objs), s.parallelism, func(i int) (Table2Row, error) {
+		b, obj := bands[i/len(objs)], objs[i%len(objs)]
+		c, err := s.exp.OptimalChoice(b, obj)
+		if err != nil {
+			return Table2Row{}, err
 		}
-	}
-	return rows, nil
+		c3, err := s.exp.Optimal3DChoice(b, obj)
+		if err != nil {
+			return Table2Row{}, err
+		}
+		row := Table2Row{
+			Band:             b.String(),
+			Objective:        obj.String(),
+			Winner:           c.Winner.Point.Label,
+			Alternative:      "-",
+			Winner3D:         c3.Winner.Point.Label,
+			Alternative3D:    "-",
+			EnduranceConcern: c.EnduranceConcern,
+		}
+		switch obj {
+		case explorer.ObjPerformance:
+			row.Metric = c.Winner.AggregateLatency
+		case explorer.ObjArea:
+			row.Metric = c.Winner.Array.FootprintM2
+		default:
+			row.Metric = c.Winner.TotalPower
+		}
+		if c.Alternative != nil {
+			row.Alternative = c.Alternative.Point.Label
+		}
+		if c3.Alternative != nil {
+			row.Alternative3D = c3.Alternative.Point.Label
+		}
+		return row, nil
+	})
 }
 
 // CoolingRow is one point of the Section III-C cooling-overhead
@@ -119,13 +119,19 @@ type CoolingRow struct {
 // CoolingSweep regenerates the cooling-overhead sensitivity across three
 // representative benchmarks (one per traffic band).
 func (s *Study) CoolingSweep() ([]CoolingRow, error) {
-	var rows []CoolingRow
 	benches := []string{"povray", "xalancbmk", "lbm"}
-	for _, cls := range cryo.Classes() {
+	classes := cryo.Classes()
+	// One sub-study per cooler class; each inherits the parallelism knob
+	// and is touched by exactly one worker, so the per-class caches are
+	// built without cross-class contention.
+	nested, err := parallel.Map(len(classes), s.parallelism, func(i int) ([]CoolingRow, error) {
+		cls := classes[i]
 		study, err := NewStudyWithCooling(cryo.Cooling{Class: cls, ThresholdK: 200})
 		if err != nil {
 			return nil, err
 		}
+		study.SetParallelism(s.parallelism)
+		rows := make([]CoolingRow, 0, len(benches))
 		for _, bench := range benches {
 			tr, err := trafficFor(bench)
 			if err != nil {
@@ -147,6 +153,14 @@ func (s *Study) CoolingSweep() ([]CoolingRow, error) {
 				RelTotalPower: cold.TotalPower / warm.TotalPower,
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []CoolingRow
+	for _, r := range nested {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }
