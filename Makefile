@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmtcheck race bench golden-update
+.PHONY: build test check vet fmtcheck race servecheck smoke bench golden-update
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,19 @@ fmtcheck:
 race:
 	$(GO) test -race ./...
 
-check: vet fmtcheck race
+# The serving stack's own gate: vet plus the server/cache/metrics packages
+# under the race detector (a fast subset of `race` for iterating on the
+# HTTP layer; `check` runs both, the subset being free once `race` passed).
+servecheck:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/server/... ./internal/cache/... ./internal/metrics/...
+
+# Boot `coldtall serve`, exercise the cache path over real HTTP, scrape
+# /metrics, and assert a clean SIGTERM drain.
+smoke:
+	./scripts/smoke.sh
+
+check: vet fmtcheck race servecheck
 
 # Sweep-engine speedup benchmarks (serial vs parallel full-grid sweep).
 bench:

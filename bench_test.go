@@ -28,6 +28,7 @@ import (
 	"testing"
 
 	"coldtall/internal/array"
+	"coldtall/internal/cache"
 	"coldtall/internal/cell"
 	"coldtall/internal/cryo"
 	"coldtall/internal/explorer"
@@ -523,6 +524,53 @@ func BenchmarkExtensionThermalClosure(b *testing.B) {
 			b.ReportMetric(r.OperatingK, "K-air-equilibrium")
 		}
 	}
+}
+
+// --- Serving stack (the `coldtall serve` fast paths).
+
+// BenchmarkCacheHit measures the response-cache hit path the HTTP service
+// answers repeated requests from: a sharded-LRU lookup returning a
+// pre-rendered body, no characterization and no JSON encoding.
+func BenchmarkCacheHit(b *testing.B) {
+	c, err := cache.New[[]byte](1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := make([]byte, 512)
+	key := "characterize|SRAM|SRAM|350|1|TSV|0|"
+	c.Add(key, body)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(key); !ok {
+			b.Fatal("miss on a warmed key")
+		}
+	}
+}
+
+// BenchmarkCharacterizeColdWarm contrasts a cold characterization (fresh
+// explorer, full organization search) with a warm repeat (explorer cache
+// hit) — the latency gap the serve cache turns into an HTTP fast path.
+func BenchmarkCharacterizeColdWarm(b *testing.B) {
+	p := explorer.Baseline()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := explorer.New().Characterize(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		e := explorer.New()
+		if _, err := e.Characterize(p); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Characterize(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkExtensionNodeScaling measures the multi-node verdict study.

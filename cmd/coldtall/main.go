@@ -24,6 +24,7 @@
 //	coldtall pareto -cell STT-RAM -dies 8
 //	coldtall eval -config study.json
 //	coldtall export -dir out
+//	coldtall serve -addr :8080       # HTTP DSE service (see internal/server)
 //
 // Flags:
 //
@@ -31,32 +32,46 @@
 //	-plot=false                  suppress ASCII scatter plots
 //	-workers N                   sweep worker pool size (0 = one per CPU,
 //	                             1 = serial; outputs identical either way)
+//	-addr, -cache-size, -timeout serve: listen address, response cache
+//	                             entries, per-request compute deadline
+//
+// SIGINT/SIGTERM cancel in-flight sweeps; serve drains gracefully.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"coldtall"
 	"coldtall/internal/array"
-	"coldtall/internal/cell"
 	"coldtall/internal/cryo"
 	"coldtall/internal/explorer"
 	"coldtall/internal/report"
-	"coldtall/internal/stack"
+	"coldtall/internal/server"
 	"coldtall/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "coldtall:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+// errUnknownSubcommand marks a dispatch miss; run surfaces it unwrapped
+// (the message already names the offending subcommand).
+var errUnknownSubcommand = errors.New("unknown subcommand")
+
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("coldtall", flag.ContinueOnError)
 	cooler := fs.String("cooler", "100kW", "cryocooler class: 100kW, 1kW, 100W, 10W")
 	plot := fs.Bool("plot", true, "render ASCII scatter plots for fig5/fig7")
@@ -67,26 +82,58 @@ func run(args []string, w io.Writer) error {
 	corner := fs.String("corner", "optimistic", "sweep: tentpole corner for eNVMs")
 	dies := fs.Int("dies", 1, "sweep: stacked die count (1, 2, 4, 8)")
 	temp := fs.Float64("temp", 350, "sweep: operating temperature in kelvin")
+	addr := fs.String("addr", ":8080", "serve: listen address")
+	cacheSize := fs.Int("cache-size", 1024, "serve: response cache capacity in entries")
+	timeout := fs.Duration("timeout", 60*time.Second, "serve: per-request compute deadline")
 
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, eval, export, sweep, pareto, all)")
+		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, eval, export, sweep, pareto, serve, all)")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
-		return err
+		return fmt.Errorf("%s: parsing flags: %w", cmd, err)
 	}
 
 	cooling, err := parseCooler(*cooler)
 	if err != nil {
-		return err
+		return fmt.Errorf("%s: flag -cooler: %w", cmd, err)
 	}
 	study, err := coldtall.NewStudyWithCooling(cooling)
 	if err != nil {
-		return err
+		return fmt.Errorf("%s: building study: %w", cmd, err)
 	}
 	study.SetParallelism(*workers)
+	// Thread the signal context into every sweep: ctrl-C aborts a running
+	// figure or table mid-sweep instead of waiting it out.
+	study = study.WithContext(ctx)
 
+	if err := dispatch(ctx, cmd, study, w, cliFlags{
+		plot: *plot, outDir: *outDir, configPath: *configPath,
+		cellName: *cellName, corner: *corner, dies: *dies, temp: *temp,
+		addr: *addr, cacheSize: *cacheSize, timeout: *timeout,
+	}); err != nil {
+		if errors.Is(err, errUnknownSubcommand) {
+			return err
+		}
+		return fmt.Errorf("%s: %w", cmd, err)
+	}
+	return nil
+}
+
+// cliFlags carries the parsed flag values into the dispatcher.
+type cliFlags struct {
+	plot               bool
+	outDir, configPath string
+	cellName, corner   string
+	dies               int
+	temp               float64
+	addr               string
+	cacheSize          int
+	timeout            time.Duration
+}
+
+func dispatch(ctx context.Context, cmd string, study *coldtall.Study, w io.Writer, f cliFlags) error {
 	switch cmd {
 	case "fig1":
 		return study.RenderFig1(w)
@@ -95,11 +142,11 @@ func run(args []string, w io.Writer) error {
 	case "fig4":
 		return study.RenderFig4(w)
 	case "fig5":
-		return study.RenderFig5(w, *plot)
+		return study.RenderFig5(w, f.plot)
 	case "fig6":
 		return study.RenderFig6(w)
 	case "fig7":
-		return study.RenderFig7(w, *plot)
+		return study.RenderFig7(w, f.plot)
 	case "table1":
 		return coldtall.RenderTable1(w)
 	case "table2":
@@ -125,20 +172,20 @@ func run(args []string, w io.Writer) error {
 	case "verify":
 		return study.RenderVerify(w)
 	case "eval":
-		if *configPath == "" {
-			return fmt.Errorf("eval needs -config <file.json>")
+		if f.configPath == "" {
+			return fmt.Errorf("flag -config: a JSON study config path is required")
 		}
-		f, err := os.Open(*configPath)
+		fh, err := os.Open(f.configPath)
 		if err != nil {
-			return err
+			return fmt.Errorf("flag -config: %w", err)
 		}
-		defer f.Close()
-		return coldtall.RunConfigAndRender(f, w)
+		defer fh.Close()
+		return coldtall.RunConfigAndRender(fh, w)
 	case "export":
-		if err := study.Export(*outDir); err != nil {
+		if err := study.Export(f.outDir); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "wrote CSV artifacts to %s\n", *outDir)
+		fmt.Fprintf(w, "wrote CSV artifacts to %s\n", f.outDir)
 		return nil
 	case "all":
 		steps := []func() error{
@@ -146,9 +193,9 @@ func run(args []string, w io.Writer) error {
 			func() error { return study.RenderFig1(w) },
 			func() error { return study.RenderFig3(w) },
 			func() error { return study.RenderFig4(w) },
-			func() error { return study.RenderFig5(w, *plot) },
+			func() error { return study.RenderFig5(w, f.plot) },
 			func() error { return study.RenderFig6(w) },
-			func() error { return study.RenderFig7(w, *plot) },
+			func() error { return study.RenderFig7(w, f.plot) },
 			func() error { return study.RenderTable2(w) },
 			func() error { return study.RenderCoolingSweep(w) },
 			func() error { return study.RenderColdAndTall(w) },
@@ -162,11 +209,13 @@ func run(args []string, w io.Writer) error {
 		}
 		return nil
 	case "sweep":
-		return sweep(study, w, *cellName, *corner, *dies, *temp)
+		return sweep(ctx, study, w, f)
 	case "pareto":
-		return pareto(w, *cellName, *corner, *dies, *temp)
+		return pareto(ctx, w, f)
+	case "serve":
+		return serveHTTP(ctx, study, w, f)
 	default:
-		return fmt.Errorf("unknown subcommand %q", cmd)
+		return fmt.Errorf("%w %q (run with no arguments for the full list)", errUnknownSubcommand, cmd)
 	}
 }
 
@@ -179,22 +228,47 @@ func parseCooler(s string) (cryo.Cooling, error) {
 	return cryo.Cooling{}, fmt.Errorf("unknown cooler class %q", s)
 }
 
-// pareto prints the Pareto-optimal internal organizations of one design
-// point across (read latency, mean access energy, footprint) — the design
-// space the single-objective search collapses.
-func pareto(w io.Writer, cellName, cornerName string, dies int, temp float64) error {
-	c, err := resolveCell(cellName, cornerName)
+// parsePoint assembles the sweep/pareto flags into a validated design
+// point via the same PointSpec the HTTP API uses.
+func (f cliFlags) parsePoint() (explorer.DesignPoint, error) {
+	return explorer.ParsePoint(explorer.PointSpec{
+		Cell:         f.cellName,
+		Corner:       f.corner,
+		Dies:         f.dies,
+		TemperatureK: f.temp,
+	})
+}
+
+// serveHTTP runs the HTTP DSE service until the signal context fires, then
+// drains.
+func serveHTTP(ctx context.Context, study *coldtall.Study, w io.Writer, f cliFlags) error {
+	srv, err := server.New(study, server.Config{
+		Addr:         f.addr,
+		CacheEntries: f.cacheSize,
+		Timeout:      f.timeout,
+	})
 	if err != nil {
 		return err
 	}
-	cfg := array.DefaultLLC(c, temp, stack.Config{Dies: dies, Style: stack.TSVStack})
-	front, err := array.Pareto(cfg)
+	fmt.Fprintf(w, "serving the DSE API on %s (SIGINT/SIGTERM to drain)\n", f.addr)
+	return srv.ListenAndServe(ctx)
+}
+
+// pareto prints the Pareto-optimal internal organizations of one design
+// point across (read latency, mean access energy, footprint) — the design
+// space the single-objective search collapses.
+func pareto(ctx context.Context, w io.Writer, f cliFlags) error {
+	p, err := f.parsePoint()
+	if err != nil {
+		return err
+	}
+	front, err := array.ParetoContext(ctx, p.ArrayConfig())
 	if err != nil {
 		return err
 	}
 	t := report.NewTable(
-		fmt.Sprintf("Pareto front for %d-die %s @%.0fK (%d of %d organizations)",
-			dies, c.Name, temp, len(front), array.SearchSpaceSize()),
+		fmt.Sprintf("Pareto front for %s (%d of %d organizations)",
+			p.Label, len(front), array.SearchSpaceSize()),
 		"organization", "rd lat", "wr lat", "rd E/acc", "wr E/acc", "footprint", "leakage")
 	for _, r := range front {
 		t.AddRow(r.Org.String(),
@@ -203,27 +277,6 @@ func pareto(w io.Writer, cellName, cornerName string, dies int, temp float64) er
 			report.Area(r.FootprintM2), report.Eng(r.LeakagePower, "W"))
 	}
 	return t.Render(w)
-}
-
-// resolveCell maps CLI cell/corner names to a cell design point.
-func resolveCell(cellName, cornerName string) (cell.Cell, error) {
-	tech, err := cell.ParseTechnology(cellName)
-	if err != nil {
-		return cell.Cell{}, err
-	}
-	switch tech {
-	case cell.SRAM, cell.EDRAM3T, cell.EDRAM1T1C:
-		return cell.Builtin(tech)
-	default:
-		switch cornerName {
-		case "optimistic":
-			return cell.Tentpole(tech, cell.Optimistic)
-		case "pessimistic":
-			return cell.Tentpole(tech, cell.Pessimistic)
-		default:
-			return cell.Cell{}, fmt.Errorf("unknown corner %q", cornerName)
-		}
-	}
 }
 
 // renderTrafficCalibration simulates all 23 benchmark stand-ins and prints
@@ -257,25 +310,17 @@ func renderTrafficCalibration(w io.Writer) error {
 	return err
 }
 
-// sweep characterizes one design point and prints its array-level numbers
-// plus its application-level power across the traffic bands.
-func sweep(study *coldtall.Study, w io.Writer, cellName, cornerName string, dies int, temp float64) error {
-	c, err := resolveCell(cellName, cornerName)
+// sweep characterizes one design point and prints its array-level numbers.
+func sweep(ctx context.Context, study *coldtall.Study, w io.Writer, f cliFlags) error {
+	p, err := f.parsePoint()
 	if err != nil {
 		return err
 	}
-	point := explorer.DesignPoint{
-		Label:       fmt.Sprintf("%d-die %s @%.0fK", dies, c.Name, temp),
-		Cell:        c,
-		Temperature: temp,
-		Dies:        dies,
-		Style:       stack.TSVStack,
-	}
-	r, err := study.Explorer().Characterize(point)
+	r, err := study.Explorer().CharacterizeContext(ctx, p)
 	if err != nil {
 		return err
 	}
-	t := report.NewTable("Design point characterization: "+point.Label, "metric", "value")
+	t := report.NewTable("Design point characterization: "+p.Label, "metric", "value")
 	t.AddRow("organization", r.Org.String())
 	t.AddRow("read latency", report.Eng(r.ReadLatency, "s"))
 	t.AddRow("write latency", report.Eng(r.WriteLatency, "s"))

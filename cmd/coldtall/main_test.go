@@ -1,24 +1,77 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
+// bg shortens the background context the CLI tests thread through run.
+var bg = context.Background()
+
 func TestRunRequiresSubcommand(t *testing.T) {
 	var b strings.Builder
-	if err := run(nil, &b); err == nil {
+	if err := run(bg, nil, &b); err == nil {
 		t.Error("missing subcommand should error")
 	}
-	if err := run([]string{"nope"}, &b); err == nil {
-		t.Error("unknown subcommand should error")
+}
+
+// TestRunUnknownSubcommandNamesIt pins the error contract: the message
+// carries the offending subcommand verbatim, with no double-wrapping.
+func TestRunUnknownSubcommandNamesIt(t *testing.T) {
+	var b strings.Builder
+	err := run(bg, []string{"nope"}, &b)
+	if err == nil {
+		t.Fatal("unknown subcommand should error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown subcommand "nope"`) {
+		t.Errorf("error %q does not name the subcommand", msg)
+	}
+	if strings.HasPrefix(msg, "nope: ") {
+		t.Errorf("error %q is double-wrapped with the subcommand prefix", msg)
+	}
+}
+
+// TestRunBadFlagNamesSubcommandAndFlag pins the other half of the error
+// contract: a flag failure says which subcommand was being parsed and
+// which flag broke.
+func TestRunBadFlagNamesSubcommandAndFlag(t *testing.T) {
+	var b strings.Builder
+	err := run(bg, []string{"fig1", "-bogus"}, &b)
+	if err == nil {
+		t.Fatal("undefined flag should error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"fig1", "parsing flags", "-bogus"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
 	}
 }
 
 func TestRunRejectsBadCooler(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"fig1", "-cooler", "5W"}, &b); err == nil {
-		t.Error("unknown cooler should error")
+	err := run(bg, []string{"fig1", "-cooler", "5W"}, &b)
+	if err == nil {
+		t.Fatal("unknown cooler should error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"fig1", "-cooler", `"5W"`} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestRunEvalWithoutConfigNamesFlag(t *testing.T) {
+	var b strings.Builder
+	err := run(bg, []string{"eval"}, &b)
+	if err == nil {
+		t.Fatal("eval without -config should error")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "eval") || !strings.Contains(msg, "-config") {
+		t.Errorf("error %q should name the subcommand and the missing flag", msg)
 	}
 }
 
@@ -39,7 +92,7 @@ func TestParseCooler(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"table1"}, &b); err != nil {
+	if err := run(bg, []string{"table1"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -52,7 +105,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunFig1(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"fig1"}, &b); err != nil {
+	if err := run(bg, []string{"fig1"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Fig. 1") || !strings.Contains(b.String(), "387") {
@@ -64,10 +117,10 @@ func TestRunFig1(t *testing.T) {
 // rendered serially and with a forced worker pool is byte-identical.
 func TestRunWorkersFlag(t *testing.T) {
 	var serial, parallel strings.Builder
-	if err := run([]string{"fig1", "-workers", "1"}, &serial); err != nil {
+	if err := run(bg, []string{"fig1", "-workers", "1"}, &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"fig1", "-workers", "8"}, &parallel); err != nil {
+	if err := run(bg, []string{"fig1", "-workers", "8"}, &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
@@ -75,9 +128,24 @@ func TestRunWorkersFlag(t *testing.T) {
 	}
 }
 
+// TestRunCancelledContextAborts pins the satellite contract: a dead signal
+// context aborts a sweep-backed subcommand instead of running it out.
+func TestRunCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b strings.Builder
+	err := run(ctx, []string{"fig1"}, &b)
+	if err == nil {
+		t.Fatal("cancelled context should abort the sweep")
+	}
+	if !strings.Contains(err.Error(), "cancel") {
+		t.Errorf("error %q should mention cancellation", err)
+	}
+}
+
 func TestRunSweep(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"sweep", "-cell", "PCM", "-corner", "optimistic", "-dies", "8"}, &b); err != nil {
+	if err := run(bg, []string{"sweep", "-cell", "PCM", "-corner", "optimistic", "-dies", "8"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -90,7 +158,7 @@ func TestRunSweep(t *testing.T) {
 
 func TestRunSweepEDRAMAt77K(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"sweep", "-cell", "3T-eDRAM", "-temp", "77"}, &b); err != nil {
+	if err := run(bg, []string{"sweep", "-cell", "3T-eDRAM", "-temp", "77"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "refresh power") {
@@ -100,13 +168,13 @@ func TestRunSweepEDRAMAt77K(t *testing.T) {
 
 func TestRunSweepRejectsBadInputs(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"sweep", "-cell", "FLUX"}, &b); err == nil {
+	if err := run(bg, []string{"sweep", "-cell", "FLUX"}, &b); err == nil {
 		t.Error("unknown cell should error")
 	}
-	if err := run([]string{"sweep", "-cell", "PCM", "-corner", "middling"}, &b); err == nil {
+	if err := run(bg, []string{"sweep", "-cell", "PCM", "-corner", "middling"}, &b); err == nil {
 		t.Error("unknown corner should error")
 	}
-	if err := run([]string{"sweep", "-dies", "3"}, &b); err == nil {
+	if err := run(bg, []string{"sweep", "-dies", "3"}, &b); err == nil {
 		t.Error("3 dies should error")
 	}
 }

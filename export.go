@@ -2,6 +2,7 @@ package coldtall
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -34,6 +35,42 @@ func (s *Study) exportArtifacts() []exportArtifact {
 	}
 }
 
+// ArtifactNames lists every exportable artifact name ("fig1.csv", ...,
+// "reliability.csv") in paper order.
+func (s *Study) ArtifactNames() []string {
+	artifacts := s.exportArtifacts()
+	names := make([]string, len(artifacts))
+	for i, a := range artifacts {
+		names[i] = a.name
+	}
+	return names
+}
+
+// ArtifactTable builds one export artifact by name and returns it as a
+// table — the writer-agnostic form Export and the HTTP server both render
+// from (CSV to a file or response body, JSON as columns + rows).
+func (s *Study) ArtifactTable(name string) (*report.Table, error) {
+	for _, a := range s.exportArtifacts() {
+		if a.name == name {
+			t, err := a.build()
+			if err != nil {
+				return nil, fmt.Errorf("building %s: %w", name, err)
+			}
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown artifact %q (want one of %v)", name, s.ArtifactNames())
+}
+
+// RenderArtifactCSV builds one artifact by name and streams it as CSV.
+func (s *Study) RenderArtifactCSV(w io.Writer, name string) error {
+	t, err := s.ArtifactTable(name)
+	if err != nil {
+		return err
+	}
+	return t.RenderCSV(w)
+}
+
 // Export writes every figure and table as CSV files into dir (created if
 // missing): fig1.csv, fig3.csv, fig4.csv, fig5.csv, fig6.csv, fig7.csv,
 // table1.csv, table2.csv, cooling.csv, coldtall.csv, reliability.csv —
@@ -47,7 +84,7 @@ func (s *Study) Export(dir string) error {
 		return err
 	}
 	artifacts := s.exportArtifacts()
-	tables, err := parallel.Map(len(artifacts), s.parallelism, func(i int) (*report.Table, error) {
+	tables, err := parallel.MapContext(s.context(), len(artifacts), s.parallelism, func(i int) (*report.Table, error) {
 		t, err := artifacts[i].build()
 		if err != nil {
 			return nil, fmt.Errorf("building %s: %w", artifacts[i].name, err)

@@ -34,8 +34,8 @@ func (s *Study) Fig1() ([]Fig1Row, error) {
 		return nil, err
 	}
 	temps := cryo.EffectiveTemperatures()
-	return parallel.Map(len(temps), s.parallelism, func(i int) (Fig1Row, error) {
-		ev, err := s.exp.Evaluate(explorer.SRAMAt(temps[i]), tr)
+	return parallel.MapContext(s.context(), len(temps), s.parallelism, func(i int) (Fig1Row, error) {
+		ev, err := s.exp.EvaluateContext(s.context(), explorer.SRAMAt(temps[i]), tr)
 		if err != nil {
 			return Fig1Row{}, err
 		}
@@ -66,16 +66,16 @@ type Fig3Row struct {
 
 // Fig3 regenerates Fig. 3.
 func (s *Study) Fig3() ([]Fig3Row, error) {
-	baseArr, err := s.exp.Characterize(explorer.Baseline())
+	baseArr, err := s.exp.CharacterizeContext(s.context(), explorer.Baseline())
 	if err != nil {
 		return nil, err
 	}
 	temps := cryo.EffectiveTemperatures()
 	mks := []func(float64) explorer.DesignPoint{explorer.SRAMAt, explorer.EDRAMAt}
-	return parallel.Map(len(temps)*len(mks), s.parallelism, func(i int) (Fig3Row, error) {
+	return parallel.MapContext(s.context(), len(temps)*len(mks), s.parallelism, func(i int) (Fig3Row, error) {
 		temp := temps[i/len(mks)]
 		p := mks[i%len(mks)](temp)
-		r, err := s.exp.Characterize(p)
+		r, err := s.exp.CharacterizeContext(s.context(), p)
 		if err != nil {
 			return Fig3Row{}, err
 		}
@@ -115,18 +115,18 @@ func (s *Study) Fig4() ([]Fig4Row, error) {
 	}
 	benches := []string{"namd", "leela"}
 	mks := []func(float64) explorer.DesignPoint{explorer.SRAMAt, explorer.EDRAMAt}
-	return parallel.Map(len(benches)*len(mks), s.parallelism, func(i int) (Fig4Row, error) {
+	return parallel.MapContext(s.context(), len(benches)*len(mks), s.parallelism, func(i int) (Fig4Row, error) {
 		bench := benches[i/len(mks)]
 		mk := mks[i%len(mks)]
 		tr, err := trafficFor(bench)
 		if err != nil {
 			return Fig4Row{}, err
 		}
-		warm, err := s.exp.Evaluate(mk(tech.TempHot350), tr)
+		warm, err := s.exp.EvaluateContext(s.context(), mk(tech.TempHot350), tr)
 		if err != nil {
 			return Fig4Row{}, err
 		}
-		cold, err := s.exp.Evaluate(mk(tech.TempCryo77), tr)
+		cold, err := s.exp.EvaluateContext(s.context(), mk(tech.TempCryo77), tr)
 		if err != nil {
 			return Fig4Row{}, err
 		}
@@ -194,7 +194,7 @@ func (s *Study) trafficStudy(points []explorer.DesignPoint) ([]TrafficRow, error
 		return nil, err
 	}
 	traffics := workload.SortedByReads()
-	grid, err := s.exp.EvaluateAll(points, traffics)
+	grid, err := s.exp.EvaluateAllContext(s.context(), points, traffics)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +238,7 @@ type Fig6Row struct {
 
 // Fig6 regenerates Fig. 6.
 func (s *Study) Fig6() ([]Fig6Row, error) {
-	baseArr, err := s.exp.Characterize(explorer.Baseline())
+	baseArr, err := s.exp.CharacterizeContext(s.context(), explorer.Baseline())
 	if err != nil {
 		return nil, err
 	}
@@ -246,9 +246,9 @@ func (s *Study) Fig6() ([]Fig6Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return parallel.Map(len(points), s.parallelism, func(i int) (Fig6Row, error) {
+	return parallel.MapContext(s.context(), len(points), s.parallelism, func(i int) (Fig6Row, error) {
 		p := points[i]
-		r, err := s.exp.Characterize(p)
+		r, err := s.exp.CharacterizeContext(s.context(), p)
 		if err != nil {
 			return Fig6Row{}, err
 		}

@@ -1,0 +1,59 @@
+package array
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"coldtall/internal/cell"
+	"coldtall/internal/stack"
+)
+
+func TestOptimizeContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultLLC(cell.NewSRAM6T(), 350, stack.Planar())
+	if _, err := OptimizeContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimizeContext err = %v, want context.Canceled", err)
+	}
+	if _, err := ParetoContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("ParetoContext err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOptimizeContextCancelledMidSearch proves a cancelled search neither
+// returns a partial best nor keeps sweeping: it errors out quickly instead
+// of finishing the full organization enumeration.
+func TestOptimizeContextCancelledMidSearch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let a few candidates start, then pull the plug.
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	cfg := DefaultLLC(cell.NewSRAM6T(), 350, stack.Planar())
+	_, err := OptimizeContext(ctx, cfg)
+	if err == nil {
+		// The full search legitimately won the race on a fast machine.
+		t.Skip("search completed before cancellation landed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOptimizeBackgroundUnaffected(t *testing.T) {
+	cfg := DefaultLLC(cell.NewSRAM6T(), 350, stack.Planar())
+	plain, err := Optimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := OptimizeContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Org != ctxed.Org || plain.ReadLatency != ctxed.ReadLatency {
+		t.Errorf("OptimizeContext(Background) diverges from Optimize: %v vs %v", ctxed.Org, plain.Org)
+	}
+}

@@ -1,6 +1,7 @@
 package array
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,11 +38,23 @@ func candidates() []Organization {
 // sequential over the fixed enumeration order, so the result is
 // deterministic. Infeasible organizations are skipped, not errors.
 func Optimize(cfg Config) (Result, error) {
+	return OptimizeContext(context.Background(), cfg)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation: once ctx is
+// done the organization sweep stops dispatching candidates and the search
+// fails with the cancellation error. A partial sweep is never reduced to a
+// "best" result — a cancelled search could otherwise silently return a
+// different organization than a completed one.
+func OptimizeContext(ctx context.Context, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	orgs := candidates()
-	results := characterizeAll(cfg, orgs)
+	results := characterizeAll(ctx, cfg, orgs)
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("array: optimize %s cancelled: %w", cfg.Cell.Name, err)
+	}
 
 	var best Result
 	found := false
@@ -64,10 +77,12 @@ func Optimize(cfg Config) (Result, error) {
 // characterizeAll evaluates every candidate organization on the shared
 // worker pool, returning results indexed by enumeration position (nil for
 // infeasible organizations). Both Optimize and Pareto reduce over this.
-func characterizeAll(cfg Config, orgs []Organization) []*Result {
+func characterizeAll(ctx context.Context, cfg Config, orgs []Organization) []*Result {
 	results := make([]*Result, len(orgs))
-	// Per-item errors mean "infeasible, skip" here, so fn never fails.
-	_ = parallel.ForEach(len(orgs), 0, func(i int) error {
+	// Per-item errors mean "infeasible, skip" here, so fn never fails;
+	// the only error ForEachContext can surface is the cancellation, which
+	// both reducers re-check via ctx.Err.
+	_ = parallel.ForEachContext(ctx, len(orgs), 0, func(i int) error {
 		if _, err := cfg.derive(orgs[i]); err != nil {
 			return nil
 		}
@@ -93,14 +108,23 @@ func SearchSpaceSize() int {
 // Candidates are characterized on the shared worker pool; the dominance
 // filter runs over the enumeration order, so the front is deterministic.
 func Pareto(cfg Config) ([]Result, error) {
+	return ParetoContext(context.Background(), cfg)
+}
+
+// ParetoContext is Pareto with cooperative cancellation (see
+// OptimizeContext for the partial-sweep rationale).
+func ParetoContext(ctx context.Context, cfg Config) ([]Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	var all []Result
-	for _, r := range characterizeAll(cfg, candidates()) {
+	for _, r := range characterizeAll(ctx, cfg, candidates()) {
 		if r != nil {
 			all = append(all, *r)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("array: pareto %s cancelled: %w", cfg.Cell.Name, err)
 	}
 	if len(all) == 0 {
 		return nil, fmt.Errorf("array: no feasible organization for %s", cfg.Cell.Name)

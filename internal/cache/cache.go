@@ -1,0 +1,187 @@
+// Package cache provides the serving stack's result cache: a sharded LRU
+// layered over the repository's singleflight group. The LRU makes repeated
+// requests O(1) with bounded memory; the flight makes N concurrent
+// identical misses cost exactly one computation (the cache-stampede guard
+// the explorer already uses for characterizations, lifted to whole HTTP
+// response bodies).
+//
+// Keys are caller-canonicalized strings — the server canonicalizes request
+// JSON into a design-point key before lookup, so two requests that differ
+// only in field order or defaulted fields share an entry.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"coldtall/internal/parallel"
+)
+
+// defaultShards is the shard count: enough to keep lock contention off the
+// request path at realistic core counts, cheap enough to be irrelevant at
+// small capacities.
+const defaultShards = 16
+
+// entry is one LRU element.
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// shard is an independently locked LRU segment.
+type shard[V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+func (s *shard[V]) get(key string) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts or refreshes key and reports how many entries were evicted.
+func (s *shard[V]) add(key string, v V) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*entry[V]).val = v
+		s.ll.MoveToFront(el)
+		return 0
+	}
+	s.m[key] = s.ll.PushFront(&entry[V]{key: key, val: v})
+	evicted := 0
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*entry[V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+func (s *shard[V]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats is a point-in-time view of cache effectiveness.
+type Stats struct {
+	// Hits and Misses count Get/Do lookups.
+	Hits, Misses int64
+	// Evictions counts entries displaced by capacity pressure.
+	Evictions int64
+	// Len is the current entry count across all shards.
+	Len int
+}
+
+// Cache is a sharded LRU with a singleflight-guarded compute path. Safe
+// for concurrent use. Construct with New.
+type Cache[V any] struct {
+	shards    []*shard[V]
+	flight    parallel.Flight[V]
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// New returns a cache holding at most capacity entries (minimum 1 per
+// shard; the capacity is split evenly across 16 shards, so tiny capacities
+// are rounded up to the shard count).
+func New[V any](capacity int) (*Cache[V], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity must be positive, got %d", capacity)
+	}
+	perShard := capacity / defaultShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache[V]{shards: make([]*shard[V], defaultShards)}
+	for i := range c.shards {
+		c.shards[i] = &shard[V]{cap: perShard, ll: list.New(), m: make(map[string]*list.Element)}
+	}
+	return c, nil
+}
+
+// shardFor routes a key to its shard by FNV-1a hash.
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get returns the cached value for key, counting the lookup in the stats.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	v, ok := c.shardFor(key).get(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Add inserts key unconditionally (most callers want Do instead).
+func (c *Cache[V]) Add(key string, v V) {
+	c.evictions.Add(int64(c.shardFor(key).add(key, v)))
+}
+
+// Do returns the value for key, computing it with fn on a miss. Concurrent
+// callers of the same missing key share one fn call (the stampede guard);
+// distinct keys never block each other. A failed fn is not cached — the
+// next caller recomputes. The returned flag reports whether the value came
+// from the cache (for hit/miss metrics at the caller's layer).
+func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, bool, error) {
+	if v, ok := c.shardFor(key).get(key); ok {
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	c.misses.Add(1)
+	hit := false
+	v, err := c.flight.Do(key, func() (V, error) {
+		// Re-check under the flight: a previous flight for this key may
+		// have populated the cache between our miss and winning the
+		// flight.
+		if v, ok := c.shardFor(key).get(key); ok {
+			hit = true
+			return v, nil
+		}
+		v, err := fn()
+		if err != nil {
+			var zero V
+			return zero, err
+		}
+		c.Add(key, v)
+		return v, nil
+	})
+	if err != nil {
+		var zero V
+		return zero, false, err
+	}
+	return v, hit, nil
+}
+
+// Stats returns a point-in-time snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	n := 0
+	for _, s := range c.shards {
+		n += s.len()
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Len:       n,
+	}
+}

@@ -1,0 +1,80 @@
+package explorer
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"coldtall/internal/workload"
+)
+
+func TestEvaluateAllContextPreCancelled(t *testing.T) {
+	e := New()
+	e.Workers = 4
+	points := []DesignPoint{Baseline(), SRAMAt(77)}
+	traffics := workload.StaticTraffic()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.EvaluateAllContext(ctx, points, traffics); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvaluateAllContext err = %v, want context.Canceled", err)
+	}
+	if got := e.OptimizeCalls(); got != 0 {
+		t.Errorf("%d optimizations ran under a pre-cancelled context", got)
+	}
+}
+
+func TestCharacterizeContextCancelledIsNotCached(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.CharacterizeContext(ctx, Baseline()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CharacterizeContext err = %v, want context.Canceled", err)
+	}
+	// A later caller with a live context must get a clean result: the
+	// cancellation above must not have poisoned the cache.
+	r, err := e.CharacterizeContext(context.Background(), Baseline())
+	if err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+	if r.ReadLatency <= 0 {
+		t.Error("retry returned a zero characterization")
+	}
+	if got := e.OptimizeCalls(); got != 1 {
+		t.Errorf("optimize calls = %d, want exactly 1 (cancelled attempt ran nothing)", got)
+	}
+}
+
+// TestEvaluateAllContextCancelMidSweep cancels while the grid is in flight
+// and checks the sweep aborts early instead of evaluating every cell.
+func TestEvaluateAllContextCancelMidSweep(t *testing.T) {
+	e := New()
+	e.Workers = 2
+	points, err := TableIICandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffics := workload.StaticTraffic()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel as soon as the first characterization lands: the remaining
+	// (many) points must never be optimized.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e.OptimizeCalls() == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, sweepErr := e.EvaluateAllContext(ctx, points, traffics)
+	<-done
+	if sweepErr == nil {
+		t.Skip("sweep completed before cancellation landed")
+	}
+	if !errors.Is(sweepErr, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", sweepErr)
+	}
+	if got := e.OptimizeCalls(); got >= int64(len(points)) {
+		t.Errorf("sweep ran %d optimizations after cancellation (grid has %d points)", got, len(points))
+	}
+}

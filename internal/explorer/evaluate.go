@@ -1,6 +1,7 @@
 package explorer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -108,8 +109,24 @@ func WithCooling(c cryo.Cooling) (*Explorer, error) {
 // in-flight optimization: the first caller computes, the rest wait on it,
 // so a cold sweep never runs the expensive search twice for one key.
 func (e *Explorer) Characterize(p DesignPoint) (array.Result, error) {
+	return e.CharacterizeContext(context.Background(), p)
+}
+
+// CharacterizeContext is Characterize with cooperative cancellation: the
+// underlying organization search aborts once ctx is done, and the failed
+// characterization is not cached, so a later caller with a live context
+// recomputes it cleanly.
+//
+// Cancellation caveat: concurrent callers of the same key share one flight,
+// and the flight runs under the first caller's context. If that caller is
+// cancelled mid-search, the waiting callers observe the same cancellation
+// error; retrying (with their own live context) recomputes the point.
+func (e *Explorer) CharacterizeContext(ctx context.Context, p DesignPoint) (array.Result, error) {
 	if err := p.Validate(); err != nil {
 		return array.Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return array.Result{}, fmt.Errorf("explorer: characterizing %s: %w", p.Label, err)
 	}
 	key := p.Key()
 	e.mu.Lock()
@@ -128,7 +145,7 @@ func (e *Explorer) Characterize(p DesignPoint) (array.Result, error) {
 			return r, nil
 		}
 		e.optimizeCalls.Add(1)
-		r, err := array.Optimize(p.arrayConfig())
+		r, err := array.OptimizeContext(ctx, p.arrayConfig())
 		if err != nil {
 			return array.Result{}, fmt.Errorf("explorer: characterizing %s: %w", p.Label, err)
 		}
@@ -139,16 +156,28 @@ func (e *Explorer) Characterize(p DesignPoint) (array.Result, error) {
 	})
 }
 
+// OptimizeCalls reports how many times the explorer actually ran the
+// expensive array optimization (cache and flight hits excluded). The
+// serving layer's cache-stampede tests assert on it; it is also a useful
+// production gauge for cache effectiveness.
+func (e *Explorer) OptimizeCalls() int64 { return e.optimizeCalls.Load() }
+
 // Evaluate computes the application-level metrics of one design point under
 // one benchmark's traffic, following the paper's methodology: total LLC
 // power is leakage plus refresh plus rate-weighted access energy, cooling
 // is charged below the cooling threshold, and total LLC latency is the
 // rate-weighted access latency.
 func (e *Explorer) Evaluate(p DesignPoint, tr workload.Traffic) (Evaluation, error) {
+	return e.EvaluateContext(context.Background(), p, tr)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation of the
+// underlying characterization (see CharacterizeContext).
+func (e *Explorer) EvaluateContext(ctx context.Context, p DesignPoint, tr workload.Traffic) (Evaluation, error) {
 	if err := tr.Validate(); err != nil {
 		return Evaluation{}, err
 	}
-	r, err := e.Characterize(p)
+	r, err := e.CharacterizeContext(ctx, p)
 	if err != nil {
 		return Evaluation{}, err
 	}
@@ -229,14 +258,23 @@ func lifetimeYears(r array.Result, p DesignPoint, tr workload.Traffic) float64 {
 // the explorer's worker pool (Workers knob); cells land at their input
 // positions, so the output is identical to the serial walk cell for cell.
 func (e *Explorer) EvaluateAll(points []DesignPoint, traffics []workload.Traffic) ([][]Evaluation, error) {
+	return e.EvaluateAllContext(context.Background(), points, traffics)
+}
+
+// EvaluateAllContext is EvaluateAll with cooperative cancellation: once ctx
+// is done, no further grid cells are dispatched, in-flight characterizations
+// abort at their next candidate, and the sweep returns the cancellation
+// error — so an abandoned HTTP request (or a Ctrl-C on the CLI) stops
+// burning worker-pool CPU mid-sweep.
+func (e *Explorer) EvaluateAllContext(ctx context.Context, points []DesignPoint, traffics []workload.Traffic) ([][]Evaluation, error) {
 	out := make([][]Evaluation, len(points))
 	for i := range out {
 		out[i] = make([]Evaluation, len(traffics))
 	}
 	cols := len(traffics)
-	err := parallel.ForEach(len(points)*cols, e.Workers, func(cell int) error {
+	err := parallel.ForEachContext(ctx, len(points)*cols, e.Workers, func(cell int) error {
 		i, j := cell/cols, cell%cols
-		ev, err := e.Evaluate(points[i], traffics[j])
+		ev, err := e.EvaluateContext(ctx, points[i], traffics[j])
 		if err != nil {
 			return err
 		}

@@ -52,6 +52,12 @@ func (p DesignPoint) Validate() error {
 	return (stack.Config{Dies: p.Dies, Style: p.Style}).Validate()
 }
 
+// ArrayConfig lowers the point into an array configuration using the
+// paper's Table I LLC parameters (with an optional capacity override). It
+// is what Characterize optimizes; callers wanting the full Pareto front
+// rather than the single optimum pass it to array.ParetoContext.
+func (p DesignPoint) ArrayConfig() array.Config { return p.arrayConfig() }
+
 // arrayConfig lowers the point into an array configuration using the
 // paper's Table I LLC parameters (with an optional capacity override).
 func (p DesignPoint) arrayConfig() array.Config {

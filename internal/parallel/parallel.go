@@ -12,9 +12,11 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers normalizes a worker-count knob: values below 1 (the zero value of
@@ -40,8 +42,22 @@ func Workers(n int) int {
 // call — but the error reported is always the lowest-index one, so the
 // serial and parallel paths surface the same failure.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachContext(context.Background(), n, workers, fn)
+}
+
+// ForEachContext is ForEach with cooperative cancellation: once ctx is
+// done, no further items are dispatched (items already running finish) and
+// the sweep reports the cancellation. A cancelled sweep therefore stops
+// burning worker-pool CPU within one item's latency — the property that
+// lets an aborted HTTP request or a Ctrl-C on the CLI reclaim the pool
+// mid-sweep.
+//
+// Error precedence: an item error (lowest input index among items that ran)
+// wins over the cancellation error, so a sweep that genuinely failed before
+// the cancellation still reports its own failure.
+func ForEachContext(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	w := Workers(workers)
 	if w > n {
@@ -52,6 +68,12 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		// and is the reference semantics the parallel path must match.
 		var first error
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if first != nil {
+					return first
+				}
+				return fmt.Errorf("parallel: sweep cancelled at item %d of %d: %w", i, n, err)
+			}
 			if err := fn(i); err != nil && first == nil {
 				first = err
 			}
@@ -67,6 +89,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				mu.Lock()
 				i := next
 				next++
@@ -83,6 +108,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("parallel: sweep cancelled: %w", err)
 	}
 	return nil
 }
@@ -101,8 +129,13 @@ func safeCall(fn func(i int) error, i int) (err error) {
 // Map runs fn over [0, n) on the pool and collects the results in input
 // order — the ordered-collect primitive the figure sweeps use.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), n, workers, fn)
+}
+
+// MapContext is Map with cooperative cancellation (see ForEachContext).
+func MapContext[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(n, workers, func(i int) error {
+	err := ForEachContext(ctx, n, workers, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err
@@ -131,8 +164,12 @@ type Flight[V any] struct {
 
 type flightCall[V any] struct {
 	done chan struct{}
-	val  V
-	err  error
+	// waiters counts callers sharing this flight beyond the leader (used
+	// by tests to deterministically hold a flight open until every
+	// follower has joined).
+	waiters atomic.Int32
+	val     V
+	err     error
 }
 
 // Do returns the result of fn for key, executing fn at most once across all
@@ -145,6 +182,7 @@ func (f *Flight[V]) Do(key string, fn func() (V, error)) (V, error) {
 		f.m = make(map[string]*flightCall[V])
 	}
 	if c, ok := f.m[key]; ok {
+		c.waiters.Add(1)
 		f.mu.Unlock()
 		<-c.done
 		return c.val, c.err

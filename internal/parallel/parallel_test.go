@@ -119,29 +119,42 @@ func TestMapErrorDropsResults(t *testing.T) {
 }
 
 // TestFlightDedupesConcurrentCallers is the core singleflight guarantee: N
-// concurrent callers of one key share exactly one execution.
+// callers overlapping one in-flight key share exactly one execution. The
+// gate stays closed until every follower has registered on the leader's
+// flight — without that, a follower scheduled after the leader completed
+// would correctly start a fresh flight and the count would exceed one.
 func TestFlightDedupesConcurrentCallers(t *testing.T) {
 	var f Flight[int]
 	var calls atomic.Int32
 	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
 	const n = 32
 
 	var wg sync.WaitGroup
 	results := make([]int, n)
 	errs := make([]error, n)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], errs[i] = f.Do("k", func() (int, error) {
-				calls.Add(1)
-				<-gate // hold the flight open until every caller has queued
-				return 42, nil
-			})
-		}(i)
+	run := func(i int) {
+		defer wg.Done()
+		results[i], errs[i] = f.Do("k", func() (int, error) {
+			calls.Add(1)
+			close(leaderIn)
+			<-gate // hold the flight open until every follower has joined
+			return 42, nil
+		})
 	}
-	// Let callers pile up behind the in-flight computation, then release.
-	for calls.Load() == 0 {
+	wg.Add(1)
+	go run(0)
+	<-leaderIn // the leader's fn is running, so the key is in flight
+	f.mu.Lock()
+	c := f.m["k"]
+	f.mu.Unlock()
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	// Every follower must be parked on the leader's flight before the gate
+	// opens; after it opens the flight completes and the key is retired.
+	for c.waiters.Load() < n-1 {
 		runtime.Gosched()
 	}
 	close(gate)

@@ -1,0 +1,393 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+
+	"coldtall/internal/array"
+	"coldtall/internal/explorer"
+	"coldtall/internal/workload"
+)
+
+// sweepGridLimit bounds one sweep request's grid: requests beyond it are a
+// client error, not a reason to let a single call monopolize the pool.
+const sweepGridLimit = 64
+
+// handleHealthz answers liveness probes; a draining server reports 503 so
+// load balancers stop routing to it while in-flight requests finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.reg.WritePrometheus(w)
+}
+
+// decode unmarshals a limited request body into v, mapping oversized bodies
+// to 413 and malformed JSON to 400. It reports whether decoding succeeded.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit), http.StatusRequestEntityTooLarge)
+			return false
+		}
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// badRequest reports a client error with the parse/validation message.
+func badRequest(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// finiteOrNull maps +Inf (the model's "does not apply" value — SRAM
+// retention, non-wearing lifetime) to a JSON null.
+func finiteOrNull(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// characterizeResponse is the wire form of an array characterization.
+type characterizeResponse struct {
+	Point                 string   `json:"point"`
+	Key                   string   `json:"key"`
+	Organization          string   `json:"organization"`
+	ReadLatencyS          float64  `json:"read_latency_s"`
+	WriteLatencyS         float64  `json:"write_latency_s"`
+	RandomCycleS          float64  `json:"random_cycle_s"`
+	ReadEnergyJ           float64  `json:"read_energy_j"`
+	WriteEnergyJ          float64  `json:"write_energy_j"`
+	LeakageW              float64  `json:"leakage_w"`
+	RefreshW              float64  `json:"refresh_w"`
+	RetentionS            *float64 `json:"retention_s"` // null when static
+	FootprintM2           float64  `json:"footprint_m2"`
+	TotalSiliconM2        float64  `json:"total_silicon_m2"`
+	ArrayEfficiency       float64  `json:"array_efficiency"`
+	BandwidthAccessesPerS float64  `json:"bandwidth_accesses_per_s"`
+}
+
+func characterizeDTO(p explorer.DesignPoint, r array.Result) characterizeResponse {
+	return characterizeResponse{
+		Point:                 p.Label,
+		Key:                   p.Key(),
+		Organization:          r.Org.String(),
+		ReadLatencyS:          r.ReadLatency,
+		WriteLatencyS:         r.WriteLatency,
+		RandomCycleS:          r.RandomCycle,
+		ReadEnergyJ:           r.ReadEnergy,
+		WriteEnergyJ:          r.WriteEnergy,
+		LeakageW:              r.LeakagePower,
+		RefreshW:              r.RefreshPower,
+		RetentionS:            finiteOrNull(r.Retention),
+		FootprintM2:           r.FootprintM2,
+		TotalSiliconM2:        r.TotalSiliconM2,
+		ArrayEfficiency:       r.ArrayEfficiency,
+		BandwidthAccessesPerS: r.BandwidthAccesses,
+	}
+}
+
+// handleCharacterize characterizes one design point: POST a PointSpec
+// ({"cell":"PCM","corner":"optimistic","dies":8,"temperature_k":350}).
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	var spec explorer.PointSpec
+	if !s.decode(w, r, &spec) {
+		return
+	}
+	p, err := explorer.ParsePoint(spec)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	key := "characterize|" + p.Key()
+	s.serveCached(w, r, "application/json", key, func(ctx context.Context) ([]byte, error) {
+		res, err := s.study.Explorer().CharacterizeContext(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(characterizeDTO(p, res))
+	})
+}
+
+// evaluateRequest pairs a design point with a benchmark.
+type evaluateRequest struct {
+	Point     explorer.PointSpec `json:"point"`
+	Benchmark string             `json:"benchmark"`
+}
+
+// evaluateResponse is the wire form of one (point, benchmark) evaluation.
+type evaluateResponse struct {
+	Point            string   `json:"point"`
+	Benchmark        string   `json:"benchmark"`
+	ReadsPerSec      float64  `json:"reads_per_sec"`
+	WritesPerSec     float64  `json:"writes_per_sec"`
+	DevicePowerW     float64  `json:"device_power_w"`
+	CoolingPowerW    float64  `json:"cooling_power_w"`
+	TotalPowerW      float64  `json:"total_power_w"`
+	AggregateLatency float64  `json:"aggregate_latency"`
+	Utilization      float64  `json:"utilization"`
+	ContentionFactor float64  `json:"contention_factor"`
+	Slowdown         bool     `json:"slowdown"`
+	LifetimeYears    *float64 `json:"lifetime_years"` // null when unbounded
+}
+
+func evaluateDTO(ev explorer.Evaluation) evaluateResponse {
+	return evaluateResponse{
+		Point:            ev.Point.Label,
+		Benchmark:        ev.Traffic.Benchmark,
+		ReadsPerSec:      ev.Traffic.ReadsPerSec,
+		WritesPerSec:     ev.Traffic.WritesPerSec,
+		DevicePowerW:     ev.DevicePower,
+		CoolingPowerW:    ev.CoolingPower,
+		TotalPowerW:      ev.TotalPower,
+		AggregateLatency: ev.AggregateLatency,
+		Utilization:      ev.Utilization,
+		ContentionFactor: ev.ContentionFactor,
+		Slowdown:         ev.Slowdown,
+		LifetimeYears:    finiteOrNull(ev.LifetimeYears),
+	}
+}
+
+// handleEvaluate evaluates one design point under one benchmark's traffic.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p, err := explorer.ParsePoint(req.Point)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	tr, err := workload.StaticTrafficFor(req.Benchmark)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	key := "evaluate|" + p.Key() + "|" + tr.Benchmark
+	s.serveCached(w, r, "application/json", key, func(ctx context.Context) ([]byte, error) {
+		ev, err := s.study.Explorer().EvaluateContext(ctx, p, tr)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(evaluateDTO(ev))
+	})
+}
+
+// sweepRequest crosses design points with benchmarks (all 23 static
+// benchmarks when the list is empty).
+type sweepRequest struct {
+	Points     []explorer.PointSpec `json:"points"`
+	Benchmarks []string             `json:"benchmarks,omitempty"`
+}
+
+// sweepResponse is the evaluated grid in row-major (point, benchmark)
+// order.
+type sweepResponse struct {
+	Points     int                `json:"points"`
+	Benchmarks int                `json:"benchmarks"`
+	Rows       []evaluateResponse `json:"rows"`
+}
+
+// handleSweep evaluates a points x benchmarks grid on the worker pool.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		badRequest(w, fmt.Errorf("sweep needs at least one design point"))
+		return
+	}
+	if len(req.Points) > sweepGridLimit || len(req.Benchmarks) > sweepGridLimit {
+		badRequest(w, fmt.Errorf("sweep grid too large: at most %d points and %d benchmarks per request", sweepGridLimit, sweepGridLimit))
+		return
+	}
+	points := make([]explorer.DesignPoint, len(req.Points))
+	keys := make([]string, 0, len(req.Points)+len(req.Benchmarks))
+	for i, spec := range req.Points {
+		p, err := explorer.ParsePoint(spec)
+		if err != nil {
+			badRequest(w, fmt.Errorf("points[%d]: %w", i, err))
+			return
+		}
+		points[i] = p
+		keys = append(keys, p.Key())
+	}
+	var traffics []workload.Traffic
+	if len(req.Benchmarks) == 0 {
+		traffics = workload.StaticTraffic()
+		keys = append(keys, "ALL")
+	} else {
+		for i, name := range req.Benchmarks {
+			tr, err := workload.StaticTrafficFor(name)
+			if err != nil {
+				badRequest(w, fmt.Errorf("benchmarks[%d]: %w", i, err))
+				return
+			}
+			traffics = append(traffics, tr)
+			keys = append(keys, tr.Benchmark)
+		}
+	}
+	key := "sweep|" + strings.Join(keys, ";")
+	s.serveCached(w, r, "application/json", key, func(ctx context.Context) ([]byte, error) {
+		grid, err := s.study.Explorer().EvaluateAllContext(ctx, points, traffics)
+		if err != nil {
+			return nil, err
+		}
+		resp := sweepResponse{Points: len(points), Benchmarks: len(traffics)}
+		for _, row := range grid {
+			for _, ev := range row {
+				resp.Rows = append(resp.Rows, evaluateDTO(ev))
+			}
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// paretoRow is one Pareto-optimal organization.
+type paretoRow struct {
+	Organization string  `json:"organization"`
+	ReadLatencyS float64 `json:"read_latency_s"`
+	WriteLatency float64 `json:"write_latency_s"`
+	ReadEnergyJ  float64 `json:"read_energy_j"`
+	WriteEnergyJ float64 `json:"write_energy_j"`
+	FootprintM2  float64 `json:"footprint_m2"`
+	LeakageW     float64 `json:"leakage_w"`
+}
+
+// paretoResponse is the front plus the search-space size it was reduced
+// from.
+type paretoResponse struct {
+	Point       string      `json:"point"`
+	SearchSpace int         `json:"search_space"`
+	Front       []paretoRow `json:"front"`
+}
+
+// handlePareto returns the Pareto-optimal internal organizations of one
+// design point across (read latency, mean access energy, footprint).
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	var spec explorer.PointSpec
+	if !s.decode(w, r, &spec) {
+		return
+	}
+	p, err := explorer.ParsePoint(spec)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	key := "pareto|" + p.Key()
+	s.serveCached(w, r, "application/json", key, func(ctx context.Context) ([]byte, error) {
+		front, err := array.ParetoContext(ctx, p.ArrayConfig())
+		if err != nil {
+			return nil, err
+		}
+		resp := paretoResponse{Point: p.Label, SearchSpace: array.SearchSpaceSize()}
+		for _, res := range front {
+			resp.Front = append(resp.Front, paretoRow{
+				Organization: res.Org.String(),
+				ReadLatencyS: res.ReadLatency,
+				WriteLatency: res.WriteLatency,
+				ReadEnergyJ:  res.ReadEnergy,
+				WriteEnergyJ: res.WriteEnergy,
+				FootprintM2:  res.FootprintM2,
+				LeakageW:     res.LeakagePower,
+			})
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// artifactFor maps endpoint kind + number to the study's export artifact.
+func artifactFor(kind, n string) (string, error) {
+	switch kind {
+	case "figure":
+		switch n {
+		case "1", "3", "4", "5", "6", "7":
+			return "fig" + n + ".csv", nil
+		}
+		return "", fmt.Errorf("unknown figure %q (the paper has figures 1, 3, 4, 5, 6, 7)", n)
+	case "table":
+		switch n {
+		case "1", "2":
+			return "table" + n + ".csv", nil
+		}
+		return "", fmt.Errorf("unknown table %q (the paper has tables 1 and 2)", n)
+	}
+	return "", fmt.Errorf("unknown artifact kind %q", kind)
+}
+
+// artifactResponse is the JSON form of a rendered artifact: the exact
+// columns and rows the CLI's CSV export produces.
+type artifactResponse struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// handleArtifact serves a figure or table by number, as JSON (default) or
+// CSV (?format=csv), built through the same artifact table the CLI's
+// export writes — the two are always consistent.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request, kind string) {
+	name, err := artifactFor(kind, r.PathValue("n"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json", "csv":
+	default:
+		badRequest(w, fmt.Errorf("unknown format %q (want json or csv)", format))
+		return
+	}
+	contentType := "application/json"
+	if format == "csv" {
+		contentType = "text/csv; charset=utf-8"
+	}
+	key := kind + "|" + name + "|" + format
+	s.serveCached(w, r, contentType, key, func(ctx context.Context) ([]byte, error) {
+		t, err := s.study.WithContext(ctx).ArtifactTable(name)
+		if err != nil {
+			return nil, err
+		}
+		if format == "csv" {
+			var b strings.Builder
+			if err := t.RenderCSV(&b); err != nil {
+				return nil, err
+			}
+			return []byte(b.String()), nil
+		}
+		rows := t.Rows()
+		if rows == nil {
+			rows = [][]string{}
+		}
+		return json.Marshal(artifactResponse{Name: name, Columns: t.Columns, Rows: rows})
+	})
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	s.handleArtifact(w, r, "figure")
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	s.handleArtifact(w, r, "table")
+}

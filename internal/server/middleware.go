@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter captures the response code and byte count for logging and
+// metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// recoverPanics converts a handler crash into a 500 without killing the
+// process: the panic and stack go to the log, the counter ticks, and every
+// other request keeps being served.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec) // the server's own abort protocol; let it through
+				}
+				s.met.panics.Inc()
+				s.cfg.Logger.Printf("panic method=%s path=%s err=%v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				// Best effort: if the handler already wrote, this is a no-op.
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// observe wraps every request with the in-flight gauge, the latency
+// histogram, per-path/status counters, and one structured access-log line.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.inflight.Inc()
+		defer s.met.inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.met.latency.Observe(elapsed.Seconds())
+		s.met.requests(r.URL.Path, sw.status).Inc()
+		s.cfg.Logger.Printf("access method=%s path=%s status=%d bytes=%d dur=%s remote=%s",
+			r.Method, r.URL.Path, sw.status, sw.bytes, elapsed.Round(time.Microsecond), r.RemoteAddr)
+	})
+}
+
+// limitBody caps request bodies at MaxBodyBytes; decoding an oversized body
+// surfaces *http.MaxBytesError, which the handlers map to 413.
+func (s *Server) limitBody(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errSaturated marks a compute rejected by admission control.
+var errSaturated = errors.New("server: sweep pool saturated")
+
+// tryAcquire claims an admission slot without queueing: under saturation
+// the caller sheds load (429) instead of stacking goroutines behind the
+// worker pool.
+func (s *Server) tryAcquire() bool {
+	select {
+	case s.admission <- struct{}{}:
+		s.met.sweepsInflight.Inc()
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.met.sweepsInflight.Dec()
+	<-s.admission
+}
+
+// serveCached is the compute-endpoint spine: an LRU lookup, then a
+// singleflight-guarded, admission-bounded, deadline-bounded computation.
+// Identical concurrent requests compute once; repeats are O(1) cache hits
+// and are never shed.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, contentType, key string, compute func(ctx context.Context) ([]byte, error)) {
+	if body, ok := s.respCache.Get(key); ok {
+		s.met.cacheHits.Inc()
+		w.Header().Set("Content-Type", contentType)
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	s.met.cacheMisses.Inc()
+	body, hit, err := s.respCache.Do(key, func() ([]byte, error) {
+		if !s.tryAcquire() {
+			return nil, errSaturated
+		}
+		defer s.release()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		return compute(ctx)
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, errSaturated):
+		s.met.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "sweep pool saturated, retry later", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "computation exceeded the request deadline", http.StatusGatewayTimeout)
+		return
+	case errors.Is(err, context.Canceled):
+		// The client went away mid-compute; nothing useful can be written.
+		http.Error(w, "request cancelled", http.StatusServiceUnavailable)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}

@@ -1,0 +1,237 @@
+// Package server turns the coldtall study into a long-running
+// design-space-exploration service: HTTP handlers over the explorer and
+// study sweeps, a sharded LRU response cache layered over singleflight (so
+// concurrent identical requests compute once and repeats are O(1)), bounded
+// admission with load shedding, per-request deadlines threaded into the
+// sweep loops, panic isolation, structured access logs, Prometheus-format
+// metrics, pprof, and graceful drain on shutdown. Standard library only.
+//
+// Endpoints:
+//
+//	POST /v1/characterize   array characterization of one design point
+//	POST /v1/evaluate       application-level metrics under one benchmark
+//	POST /v1/sweep          points x benchmarks evaluation grid
+//	POST /v1/pareto         Pareto-optimal internal organizations
+//	GET  /v1/figures/{n}    paper figure data (n in 1,3,4,5,6,7; ?format=csv)
+//	GET  /v1/tables/{n}     paper table data (n in 1,2; ?format=csv)
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /metrics           Prometheus text exposition
+//	GET  /debug/pprof/      runtime profiles
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"coldtall"
+	"coldtall/internal/cache"
+	"coldtall/internal/metrics"
+)
+
+// Config tunes the service. The zero value of every field selects a
+// production-reasonable default (documented per field).
+type Config struct {
+	// Addr is the listen address for ListenAndServe (":8080" by default;
+	// use ":0" to pick a free port).
+	Addr string
+	// CacheEntries bounds the response LRU (1024 entries by default).
+	CacheEntries int
+	// Timeout is the per-request compute deadline threaded into the sweep
+	// loops (60s by default). A request past its deadline aborts its
+	// sweep and answers 504.
+	Timeout time.Duration
+	// MaxInflight bounds concurrently computing requests; requests beyond
+	// the bound are shed with 429 + Retry-After instead of queueing
+	// (cache hits are never shed). Default 4.
+	MaxInflight int
+	// MaxBodyBytes bounds request bodies (1 MiB by default).
+	MaxBodyBytes int64
+	// DrainTimeout bounds the graceful drain on shutdown (30s default).
+	DrainTimeout time.Duration
+	// Logger receives structured access log lines and server lifecycle
+	// messages (stderr by default).
+	Logger *log.Logger
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 4
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "coldtall-serve ", log.LstdFlags|log.Lmicroseconds)
+	}
+	return c
+}
+
+// serverMetrics bundles the registry and the series the handlers touch.
+type serverMetrics struct {
+	reg *metrics.Registry
+	// latency is request wall time in seconds, all endpoints.
+	latency *metrics.Histogram
+	// inflight counts requests currently being handled; sweepsInflight
+	// counts requests currently computing (admission slots in use).
+	inflight       *metrics.Gauge
+	sweepsInflight *metrics.Gauge
+	// cacheHits/cacheMisses count response-cache lookups; shed counts
+	// 429s; panics counts recovered handler crashes.
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	shed        *metrics.Counter
+	panics      *metrics.Counter
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	return &serverMetrics{
+		reg:            reg,
+		latency:        reg.Histogram("coldtall_request_seconds", "Request latency in seconds.", nil),
+		inflight:       reg.Gauge("coldtall_http_inflight", "Requests currently being handled."),
+		sweepsInflight: reg.Gauge("coldtall_sweeps_inflight", "Requests currently computing (admission slots in use)."),
+		cacheHits:      reg.Counter("coldtall_cache_hits_total", "Response cache hits."),
+		cacheMisses:    reg.Counter("coldtall_cache_misses_total", "Response cache misses."),
+		shed:           reg.Counter("coldtall_shed_total", "Requests shed with 429 under saturation."),
+		panics:         reg.Counter("coldtall_panics_total", "Handler panics recovered to 500s."),
+	}
+}
+
+// requests returns the lazily created per-path+code counter.
+func (m *serverMetrics) requests(path string, code int) *metrics.Counter {
+	name := fmt.Sprintf("coldtall_http_requests_total{path=%q,code=\"%d\"}", path, code)
+	return m.reg.Counter(name, "Requests by path and status code.")
+}
+
+// Server is the coldtall DSE service. Construct with New; it is immutable
+// after construction and safe for concurrent use.
+type Server struct {
+	cfg       Config
+	study     *coldtall.Study
+	respCache *cache.Cache[[]byte]
+	met       *serverMetrics
+	admission chan struct{}
+	handler   http.Handler
+	draining  atomic.Bool
+}
+
+// New builds a server around an existing study. The study's explorer (and
+// so its characterization cache) is shared across all requests; the
+// response cache sits in front of it keyed on canonicalized requests.
+func New(study *coldtall.Study, cfg Config) (*Server, error) {
+	if study == nil {
+		return nil, fmt.Errorf("server: study must not be nil")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("server: MaxInflight must be non-negative, got %d", cfg.MaxInflight)
+	}
+	respCache, err := cache.New[[]byte](cfg.CacheEntries)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		study:     study,
+		respCache: respCache,
+		met:       newServerMetrics(),
+		admission: make(chan struct{}, cfg.MaxInflight),
+	}
+	s.handler = s.buildHandler()
+	return s, nil
+}
+
+// buildHandler assembles the route table and the middleware chain.
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/pareto", s.handlePareto)
+	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
+	mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Innermost to outermost: routes, body limits, observation, recovery.
+	var h http.Handler = mux
+	h = s.limitBody(h)
+	h = s.observe(h)
+	h = s.recoverPanics(h)
+	return h
+}
+
+// Handler returns the fully assembled HTTP handler (for tests and for
+// embedding the service behind an existing mux).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the registry (tests assert on series; embedders may add
+// their own).
+func (s *Server) Metrics() *metrics.Registry { return s.met.reg }
+
+// CacheStats reports response-cache effectiveness.
+func (s *Server) CacheStats() cache.Stats { return s.respCache.Stats() }
+
+// Serve accepts connections on ln until ctx is done, then drains: the
+// listener closes (new connections are refused), in-flight requests run to
+// completion (bounded by DrainTimeout), and only then does Serve return.
+// A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("server: %w", err)
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	s.cfg.Logger.Printf("draining: refusing new connections, finishing in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		srv.Close()
+		<-errc
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	<-errc // http.ErrServerClosed from the Serve goroutine
+	s.cfg.Logger.Printf("drained cleanly")
+	return nil
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is done (see Serve).
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.cfg.Logger.Printf("listening on %s", ln.Addr())
+	return s.Serve(ctx, ln)
+}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Smoke-test the HTTP DSE service end to end: build, boot `coldtall serve`,
+# answer a characterization (cold, then from the response cache), scrape
+# /metrics, and assert a clean SIGTERM drain (exit 0).
+set -eu
+
+BIN="${TMPDIR:-/tmp}/coldtall-smoke"
+ADDR="${COLDTALL_SMOKE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+
+go build -o "$BIN" ./cmd/coldtall
+
+"$BIN" serve -addr "$ADDR" &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the listener (the binary binds before serving, so this is quick).
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "smoke FAIL: /healthz never came up on $ADDR" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+curl -fsS "$BASE/healthz" | grep -q ok
+
+# Cold characterization, then the identical request must be a cache hit.
+curl -fsS -X POST -d '{"cell":"SRAM"}' "$BASE/v1/characterize" | grep -q read_latency_s
+curl -fsS -D - -o /dev/null -X POST -d '{"cell":"SRAM"}' "$BASE/v1/characterize" |
+  grep -qi '^x-cache: hit'
+
+# The table endpoint agrees with the CLI export format.
+curl -fsS "$BASE/v1/tables/1?format=csv" | head -1 | grep -q parameter
+
+# Metrics expose the latency histogram and the cache counters.
+METRICS="$(curl -fsS "$BASE/metrics")"
+for series in coldtall_request_seconds_count coldtall_cache_hits_total coldtall_http_inflight; do
+  echo "$METRICS" | grep -q "$series" || {
+    echo "smoke FAIL: /metrics missing $series" >&2
+    exit 1
+  }
+done
+
+# SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+wait "$PID"
+trap - EXIT
+echo "smoke OK: served, cached, scraped, drained cleanly"

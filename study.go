@@ -1,6 +1,8 @@
 package coldtall
 
 import (
+	"context"
+
 	"coldtall/internal/cryo"
 	"coldtall/internal/explorer"
 	"coldtall/internal/workload"
@@ -19,6 +21,11 @@ type Study struct {
 	// parallelism bounds every worker pool the study's sweeps use:
 	// 0 means one worker per available CPU, 1 forces the serial path.
 	parallelism int
+
+	// ctx bounds every sweep the study runs; nil means context.Background.
+	// Bind a context with WithContext — the HTTP server binds each
+	// request's deadline, the CLI binds the interrupt signal.
+	ctx context.Context
 }
 
 // NewStudy creates a study with the paper's default environment (100 kW
@@ -51,6 +58,26 @@ func (s *Study) Parallelism() int { return s.parallelism }
 func (s *Study) SetParallelism(n int) {
 	s.parallelism = n
 	s.exp.Workers = n
+}
+
+// WithContext returns a shallow copy of the study whose sweeps are bound to
+// ctx: once ctx is done, grids stop dispatching cells and in-flight
+// organization searches abort at their next candidate. The copy shares the
+// explorer (and so its characterization cache) with the receiver, which is
+// what lets a server hand every request its own deadline while all requests
+// share one warm cache.
+func (s *Study) WithContext(ctx context.Context) *Study {
+	out := *s
+	out.ctx = ctx
+	return &out
+}
+
+// context returns the bound context (Background when none is bound).
+func (s *Study) context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
 }
 
 // baseline returns the universal denominator (350 K SRAM on namd) and its

@@ -62,7 +62,7 @@ type Table2Row struct {
 func (s *Study) Table2() ([]Table2Row, error) {
 	bands := workload.Bands()
 	objs := explorer.Objectives()
-	return parallel.Map(len(bands)*len(objs), s.parallelism, func(i int) (Table2Row, error) {
+	return parallel.MapContext(s.context(), len(bands)*len(objs), s.parallelism, func(i int) (Table2Row, error) {
 		b, obj := bands[i/len(objs)], objs[i%len(objs)]
 		c, err := s.exp.OptimalChoice(b, obj)
 		if err != nil {
@@ -124,24 +124,25 @@ func (s *Study) CoolingSweep() ([]CoolingRow, error) {
 	// One sub-study per cooler class; each inherits the parallelism knob
 	// and is touched by exactly one worker, so the per-class caches are
 	// built without cross-class contention.
-	nested, err := parallel.Map(len(classes), s.parallelism, func(i int) ([]CoolingRow, error) {
+	nested, err := parallel.MapContext(s.context(), len(classes), s.parallelism, func(i int) ([]CoolingRow, error) {
 		cls := classes[i]
 		study, err := NewStudyWithCooling(cryo.Cooling{Class: cls, ThresholdK: 200})
 		if err != nil {
 			return nil, err
 		}
 		study.SetParallelism(s.parallelism)
+		study = study.WithContext(s.context())
 		rows := make([]CoolingRow, 0, len(benches))
 		for _, bench := range benches {
 			tr, err := trafficFor(bench)
 			if err != nil {
 				return nil, err
 			}
-			warm, err := study.exp.Evaluate(explorer.Baseline(), tr)
+			warm, err := study.exp.EvaluateContext(study.context(), explorer.Baseline(), tr)
 			if err != nil {
 				return nil, err
 			}
-			cold, err := study.exp.Evaluate(explorer.EDRAMAt(77), tr)
+			cold, err := study.exp.EvaluateContext(study.context(), explorer.EDRAMAt(77), tr)
 			if err != nil {
 				return nil, err
 			}
