@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmtcheck race servecheck smoke bench golden-update
+.PHONY: build test check vet fmtcheck race servecheck smoke artifactcheck vulncheck bench golden-update
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,20 @@ servecheck:
 # /metrics, and assert a clean SIGTERM drain.
 smoke:
 	./scripts/smoke.sh
+
+# Catalog drift check: `coldtall artifacts list` and the served
+# GET /v1/artifacts must enumerate the registry identically.
+artifactcheck:
+	./scripts/artifactcheck.sh
+
+# Known-vulnerability scan. Skipped (with a pointer) when govulncheck is
+# not on PATH; the CI job installs it.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 check: vet fmtcheck race servecheck
 

@@ -582,3 +582,34 @@ func BenchmarkExtensionNodeScaling(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkArtifactBuildColdWarm measures every registry artifact twice:
+// cold (a fresh study, so the characterization caches are empty and the
+// build pays the full array-optimization cost) and warm (repeat builds on
+// a shared study, the steady state the HTTP response path and repeated CLI
+// renders see). The cold/warm gap is the value of the study-level caches;
+// EXPERIMENTS.md records the measured ratios.
+func BenchmarkArtifactBuildColdWarm(b *testing.B) {
+	for _, name := range Artifacts().Names() {
+		b.Run(name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := NewStudy()
+				if _, err := s.ArtifactTable(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/warm", func(b *testing.B) {
+			s := sharedStudy(b)
+			if _, err := s.ArtifactTable(name); err != nil {
+				b.Fatal(err) // prime outside the timed loop
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ArtifactTable(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

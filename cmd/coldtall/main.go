@@ -18,6 +18,13 @@
 //	coldtall thermal       # Sec. V-A self-consistent operating points
 //	coldtall traffic       # simulated vs static traffic calibration
 //
+// Artifact registry (the declarative catalog behind figures, tables, CSV
+// export and the HTTP /v1/artifacts API — see internal/artifact):
+//
+//	coldtall artifacts list               # name, file, paper mapping, columns
+//	coldtall artifacts fig5               # render any artifact by name
+//	coldtall artifacts -format csv cooling
+//
 // Tools:
 //
 //	coldtall sweep -cell PCM -corner optimistic -dies 8 -temp 350
@@ -46,6 +53,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -85,10 +93,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	addr := fs.String("addr", ":8080", "serve: listen address")
 	cacheSize := fs.Int("cache-size", 1024, "serve: response cache capacity in entries")
 	timeout := fs.Duration("timeout", 60*time.Second, "serve: per-request compute deadline")
+	format := fs.String("format", "table", "artifacts: output format (table, csv)")
 
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, eval, export, sweep, pareto, serve, all)")
+		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, artifacts, eval, export, sweep, pareto, serve, all)")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -112,6 +121,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		plot: *plot, outDir: *outDir, configPath: *configPath,
 		cellName: *cellName, corner: *corner, dies: *dies, temp: *temp,
 		addr: *addr, cacheSize: *cacheSize, timeout: *timeout,
+		format: *format, args: positional(fs.Args()),
 	}); err != nil {
 		if errors.Is(err, errUnknownSubcommand) {
 			return err
@@ -131,32 +141,31 @@ type cliFlags struct {
 	addr               string
 	cacheSize          int
 	timeout            time.Duration
+	format             string
+	args               positional
+}
+
+// positional is the subcommand's non-flag arguments.
+type positional []string
+
+// arg returns the i-th positional argument, or "" when absent.
+func (p positional) arg(i int) string {
+	if i < len(p) {
+		return p[i]
+	}
+	return ""
 }
 
 func dispatch(ctx context.Context, cmd string, study *coldtall.Study, w io.Writer, f cliFlags) error {
 	switch cmd {
-	case "fig1":
-		return study.RenderFig1(w)
-	case "fig3":
-		return study.RenderFig3(w)
-	case "fig4":
-		return study.RenderFig4(w)
-	case "fig5":
-		return study.RenderFig5(w, f.plot)
-	case "fig6":
-		return study.RenderFig6(w)
-	case "fig7":
-		return study.RenderFig7(w, f.plot)
-	case "table1":
-		return coldtall.RenderTable1(w)
-	case "table2":
-		return study.RenderTable2(w)
-	case "cooling":
-		return study.RenderCoolingSweep(w)
 	case "coldtall":
+		// The extension studies keep their rich per-benchmark views; their
+		// flat grids live in the registry ("coldtall", "reliability").
 		return study.RenderColdAndTall(w)
 	case "reliability":
 		return study.RenderReliability(w)
+	case "artifacts":
+		return runArtifacts(study, w, f)
 	case "exclusions":
 		return study.RenderExclusions(w)
 	case "impact":
@@ -188,21 +197,19 @@ func dispatch(ctx context.Context, cmd string, study *coldtall.Study, w io.Write
 		fmt.Fprintf(w, "wrote CSV artifacts to %s\n", f.outDir)
 		return nil
 	case "all":
-		steps := []func() error{
-			func() error { return coldtall.RenderTable1(w) },
-			func() error { return study.RenderFig1(w) },
-			func() error { return study.RenderFig3(w) },
-			func() error { return study.RenderFig4(w) },
-			func() error { return study.RenderFig5(w, f.plot) },
-			func() error { return study.RenderFig6(w) },
-			func() error { return study.RenderFig7(w, f.plot) },
-			func() error { return study.RenderTable2(w) },
-			func() error { return study.RenderCoolingSweep(w) },
-			func() error { return study.RenderColdAndTall(w) },
-			func() error { return study.RenderReliability(w) },
-		}
-		for _, step := range steps {
-			if err := step(); err != nil {
+		// Every registry artifact in paper order, with the extension
+		// studies swapped for their rich renderers.
+		for _, name := range coldtall.Artifacts().Names() {
+			var err error
+			switch name {
+			case "coldtall":
+				err = study.RenderColdAndTall(w)
+			case "reliability":
+				err = study.RenderReliability(w)
+			default:
+				err = study.RenderArtifact(w, name, f.plot)
+			}
+			if err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
@@ -215,8 +222,49 @@ func dispatch(ctx context.Context, cmd string, study *coldtall.Study, w io.Write
 	case "serve":
 		return serveHTTP(ctx, study, w, f)
 	default:
+		// Any registry artifact is a subcommand: `coldtall fig5`,
+		// `coldtall table2`, `coldtall cooling`, ...
+		if _, ok := coldtall.Artifacts().Lookup(cmd); ok {
+			return study.RenderArtifact(w, cmd, f.plot)
+		}
 		return fmt.Errorf("%w %q (run with no arguments for the full list)", errUnknownSubcommand, cmd)
 	}
+}
+
+// runArtifacts implements the artifacts subcommand:
+//
+//	coldtall artifacts list            # the registry catalog
+//	coldtall artifacts <name>          # render one artifact (table + plots)
+//	coldtall artifacts -format csv <name>
+func runArtifacts(study *coldtall.Study, w io.Writer, f cliFlags) error {
+	name := f.args.arg(0)
+	if name == "" || name == "list" {
+		return renderArtifactList(w)
+	}
+	switch f.format {
+	case "csv":
+		return study.RenderArtifactCSV(w, name)
+	case "", "table":
+		return study.RenderArtifact(w, name, f.plot)
+	}
+	return fmt.Errorf("flag -format: unknown format %q (want table or csv)", f.format)
+}
+
+// renderArtifactList prints the registry catalog: one row per artifact
+// with its name, export file, paper mapping and column schema. The first
+// column is the contract `make artifactcheck` compares against the served
+// /v1/artifacts endpoint.
+func renderArtifactList(w io.Writer) error {
+	t := report.NewTable("Artifact registry ("+fmt.Sprint(len(coldtall.Artifacts().Names()))+" artifacts)",
+		"name", "file", "paper", "columns")
+	for _, d := range coldtall.Artifacts().Descriptors() {
+		cols := make([]string, len(d.Columns))
+		for i, c := range d.Columns {
+			cols[i] = c.Name
+		}
+		t.AddRow(d.Name, d.File, d.Paper, strings.Join(cols, ","))
+	}
+	return t.Render(w)
 }
 
 func parseCooler(s string) (cryo.Cooling, error) {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"coldtall"
 )
 
 // bg shortens the background context the CLI tests thread through run.
@@ -176,5 +178,70 @@ func TestRunSweepRejectsBadInputs(t *testing.T) {
 	}
 	if err := run(bg, []string{"sweep", "-dies", "3"}, &b); err == nil {
 		t.Error("3 dies should error")
+	}
+}
+
+// TestRunArtifactsList pins the catalog subcommand: every registry
+// artifact appears by name with its export file, and the row order is the
+// registry's paper order.
+func TestRunArtifactsList(t *testing.T) {
+	var b strings.Builder
+	if err := run(bg, []string{"artifacts", "list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range coldtall.Artifacts().Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("catalog missing artifact %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "fig1.csv") || !strings.Contains(out, "Table II") {
+		t.Errorf("catalog missing file or paper mapping:\n%s", out)
+	}
+	// Bare `artifacts` is the same listing.
+	var bare strings.Builder
+	if err := run(bg, []string{"artifacts"}, &bare); err != nil {
+		t.Fatal(err)
+	}
+	if bare.String() != out {
+		t.Error("`artifacts` and `artifacts list` differ")
+	}
+}
+
+// TestRunArtifactsCSV pins `artifacts <name> -format csv` as the export
+// path: the streamed bytes are RenderArtifactCSV's, header first.
+func TestRunArtifactsCSV(t *testing.T) {
+	var b strings.Builder
+	if err := run(bg, []string{"artifacts", "-format", "csv", "table1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "parameter,value\n") {
+		t.Errorf("CSV output does not start with the header: %q", b.String())
+	}
+}
+
+func TestRunArtifactsRejectsBadInputs(t *testing.T) {
+	var b strings.Builder
+	if err := run(bg, []string{"artifacts", "fig2"}, &b); err == nil {
+		t.Error("unknown artifact should error")
+	}
+	err := run(bg, []string{"artifacts", "-format", "xml", "fig1"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-format") {
+		t.Errorf("bad format error should name the flag, got %v", err)
+	}
+}
+
+// TestRunRegistryNameDispatch pins the generic dispatch: every registry
+// name is a subcommand, including the extension artifacts that used to
+// have bespoke renderers.
+func TestRunRegistryNameDispatch(t *testing.T) {
+	var b strings.Builder
+	if err := run(bg, []string{"cooling"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cooler", "rel_total_power"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("cooling output missing %q", want)
+		}
 	}
 }

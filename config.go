@@ -8,6 +8,7 @@ import (
 	"coldtall/internal/cell"
 	"coldtall/internal/cryo"
 	"coldtall/internal/explorer"
+	"coldtall/internal/report"
 	"coldtall/internal/stack"
 	"coldtall/internal/workload"
 )
@@ -239,5 +240,11 @@ func RunConfigAndRender(r io.Reader, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return renderTraffic(w, "Custom study (relative to 350K 1-die SRAM on namd)", rows, false)
+	// Custom studies share the registry's traffic schema, so they render
+	// (and could export) exactly like Fig. 5 / Fig. 7.
+	t := report.NewSchemaTable("Custom study (relative to 350K 1-die SRAM on namd)", trafficColumns)
+	if err := buildTraffic(t, rows); err != nil {
+		return err
+	}
+	return t.Render(w)
 }

@@ -2,7 +2,6 @@ package coldtall
 
 import (
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 
@@ -10,71 +9,12 @@ import (
 	"coldtall/internal/report"
 )
 
-// exportArtifact is one Export output: a file name and its builder.
-type exportArtifact struct {
-	name  string
-	build func() (*report.Table, error)
-}
-
-// exportArtifacts lists every CSV artifact in paper order. Order matters
-// twice: files are written in this order, and a serial export builds them
-// in this order — the parallel export must be indistinguishable.
-func (s *Study) exportArtifacts() []exportArtifact {
-	return []exportArtifact{
-		{"fig1.csv", s.fig1CSV},
-		{"fig3.csv", s.fig3CSV},
-		{"fig4.csv", s.fig4CSV},
-		{"fig5.csv", func() (*report.Table, error) { return s.trafficCSV(s.Fig5) }},
-		{"fig6.csv", s.fig6CSV},
-		{"fig7.csv", func() (*report.Table, error) { return s.trafficCSV(s.Fig7) }},
-		{"table1.csv", table1CSV},
-		{"table2.csv", s.table2CSV},
-		{"cooling.csv", s.coolingCSV},
-		{"coldtall.csv", s.coldAndTallCSV},
-		{"reliability.csv", s.reliabilityCSV},
-	}
-}
-
-// ArtifactNames lists every exportable artifact name ("fig1.csv", ...,
-// "reliability.csv") in paper order.
-func (s *Study) ArtifactNames() []string {
-	artifacts := s.exportArtifacts()
-	names := make([]string, len(artifacts))
-	for i, a := range artifacts {
-		names[i] = a.name
-	}
-	return names
-}
-
-// ArtifactTable builds one export artifact by name and returns it as a
-// table — the writer-agnostic form Export and the HTTP server both render
-// from (CSV to a file or response body, JSON as columns + rows).
-func (s *Study) ArtifactTable(name string) (*report.Table, error) {
-	for _, a := range s.exportArtifacts() {
-		if a.name == name {
-			t, err := a.build()
-			if err != nil {
-				return nil, fmt.Errorf("building %s: %w", name, err)
-			}
-			return t, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown artifact %q (want one of %v)", name, s.ArtifactNames())
-}
-
-// RenderArtifactCSV builds one artifact by name and streams it as CSV.
-func (s *Study) RenderArtifactCSV(w io.Writer, name string) error {
-	t, err := s.ArtifactTable(name)
-	if err != nil {
-		return err
-	}
-	return t.RenderCSV(w)
-}
-
-// Export writes every figure and table as CSV files into dir (created if
+// Export writes every registry artifact as a CSV file into dir (created if
 // missing): fig1.csv, fig3.csv, fig4.csv, fig5.csv, fig6.csv, fig7.csv,
 // table1.csv, table2.csv, cooling.csv, coldtall.csv, reliability.csv —
-// ready for external plotting against the paper's figures.
+// ready for external plotting against the paper's figures. The file set is
+// the artifact registry in paper order; there is no per-artifact export
+// code to keep in sync.
 //
 // Independent artifacts build concurrently on the study's worker pool
 // (SetParallelism); the files themselves are written serially in paper
@@ -83,167 +23,25 @@ func (s *Study) Export(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	artifacts := s.exportArtifacts()
-	tables, err := parallel.MapContext(s.context(), len(artifacts), s.parallelism, func(i int) (*report.Table, error) {
-		t, err := artifacts[i].build()
-		if err != nil {
-			return nil, fmt.Errorf("building %s: %w", artifacts[i].name, err)
-		}
-		return t, nil
+	descriptors := artifacts.Descriptors()
+	tables, err := parallel.MapContext(s.context(), len(descriptors), s.parallelism, func(i int) (*report.Table, error) {
+		return artifacts.Build(s.context(), s, descriptors[i].Name)
 	})
 	if err != nil {
 		return err
 	}
-	for i, a := range artifacts {
-		f, err := os.Create(filepath.Join(dir, a.name))
+	for i, d := range descriptors {
+		f, err := os.Create(filepath.Join(dir, d.File))
 		if err != nil {
 			return err
 		}
 		if err := tables[i].RenderCSV(f); err != nil {
 			f.Close()
-			return fmt.Errorf("writing %s: %w", a.name, err)
+			return fmt.Errorf("writing %s: %w", d.File, err)
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-func f(v float64) string { return fmt.Sprintf("%g", v) }
-
-func (s *Study) fig1CSV() (*report.Table, error) {
-	rows, err := s.Fig1()
-	if err != nil {
-		return nil, err
-	}
-	t := report.NewTable("", "temperature_k", "rel_device_power", "rel_total_power")
-	for _, r := range rows {
-		t.AddRow(f(r.TemperatureK), f(r.RelDevicePower), f(r.RelTotalPower))
-	}
-	return t, nil
-}
-
-func (s *Study) fig3CSV() (*report.Table, error) {
-	rows, err := s.Fig3()
-	if err != nil {
-		return nil, err
-	}
-	t := report.NewTable("", "cell", "temperature_k",
-		"rel_read_latency", "rel_write_latency", "rel_read_energy", "rel_write_energy",
-		"rel_leakage", "retention_s")
-	for _, r := range rows {
-		t.AddRow(r.Cell, f(r.TemperatureK), f(r.RelReadLatency), f(r.RelWriteLatency),
-			f(r.RelReadEnergy), f(r.RelWriteEnergy), f(r.RelLeakagePower), f(r.RetentionS))
-	}
-	return t, nil
-}
-
-func (s *Study) fig4CSV() (*report.Table, error) {
-	rows, err := s.Fig4()
-	if err != nil {
-		return nil, err
-	}
-	t := report.NewTable("", "benchmark", "cell", "rel_350k", "rel_77k", "rel_77k_cooled")
-	for _, r := range rows {
-		t.AddRow(r.Benchmark, r.Cell, f(r.Rel350K), f(r.Rel77K), f(r.Rel77KCooled))
-	}
-	return t, nil
-}
-
-func (s *Study) trafficCSV(gen func() ([]TrafficRow, error)) (*report.Table, error) {
-	rows, err := gen()
-	if err != nil {
-		return nil, err
-	}
-	t := report.NewTable("", "design_point", "cell", "temperature_k", "dies",
-		"benchmark", "reads_per_sec", "writes_per_sec",
-		"rel_device_power", "rel_total_power", "rel_latency", "slowdown")
-	for _, r := range rows {
-		t.AddRow(r.Label, r.Cell, f(r.TemperatureK), fmt.Sprintf("%d", r.Dies),
-			r.Benchmark, f(r.ReadsPerSec), f(r.WritesPerSec),
-			f(r.RelDevicePower), f(r.RelTotalPower), f(r.RelLatency),
-			fmt.Sprintf("%v", r.Slowdown))
-	}
-	return t, nil
-}
-
-func (s *Study) fig6CSV() (*report.Table, error) {
-	rows, err := s.Fig6()
-	if err != nil {
-		return nil, err
-	}
-	t := report.NewTable("", "design_point", "tech", "corner", "dies",
-		"rel_area", "rel_read_energy", "rel_write_energy",
-		"rel_read_latency", "rel_write_latency", "rel_leakage")
-	for _, r := range rows {
-		t.AddRow(r.Label, r.Tech, r.Corner, fmt.Sprintf("%d", r.Dies),
-			f(r.RelArea), f(r.RelReadEnergy), f(r.RelWriteEnergy),
-			f(r.RelReadLatency), f(r.RelWriteLatency), f(r.RelLeakagePower))
-	}
-	return t, nil
-}
-
-func table1CSV() (*report.Table, error) {
-	t := report.NewTable("", "parameter", "value")
-	for _, r := range Table1() {
-		t.AddRow(r.Parameter, r.Value)
-	}
-	return t, nil
-}
-
-func (s *Study) table2CSV() (*report.Table, error) {
-	rows, err := s.Table2()
-	if err != nil {
-		return nil, err
-	}
-	t := report.NewTable("", "band", "objective", "winner", "alternative",
-		"winner_350k_family", "alternative_350k_family", "endurance_concern", "metric")
-	for _, r := range rows {
-		t.AddRow(r.Band, r.Objective, r.Winner, r.Alternative,
-			r.Winner3D, r.Alternative3D, fmt.Sprintf("%v", r.EnduranceConcern), f(r.Metric))
-	}
-	return t, nil
-}
-
-func (s *Study) coolingCSV() (*report.Table, error) {
-	rows, err := s.CoolingSweep()
-	if err != nil {
-		return nil, err
-	}
-	t := report.NewTable("", "cooler", "overhead", "benchmark", "reads_per_sec", "rel_total_power")
-	for _, r := range rows {
-		t.AddRow(r.Cooler, f(r.Overhead), r.Benchmark, f(r.ReadsPerSec), f(r.RelTotalPower))
-	}
-	return t, nil
-}
-
-func (s *Study) coldAndTallCSV() (*report.Table, error) {
-	t := report.NewTable("", "benchmark", "design_point", "cell", "dies", "temperature_k",
-		"rel_total_power", "rel_latency", "rel_area")
-	for _, bench := range BandRepresentatives() {
-		rows, err := s.ColdAndTall(bench)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range rows {
-			t.AddRow(r.Benchmark, r.Label, r.Cell, fmt.Sprintf("%d", r.Dies),
-				f(r.TemperatureK), f(r.RelTotalPower), f(r.RelLatency), f(r.RelArea))
-		}
-	}
-	return t, nil
-}
-
-func (s *Study) reliabilityCSV() (*report.Table, error) {
-	rows, err := s.ReliabilityStudy()
-	if err != nil {
-		return nil, err
-	}
-	t := report.NewTable("", "benchmark", "writes_per_sec", "design_point",
-		"soft_fit", "wear_lifetime_years", "weak_bits_per_refresh")
-	for _, r := range rows {
-		t.AddRow(r.Benchmark, f(r.WritesPerSec), r.Label,
-			f(r.SoftFIT), f(r.WearLifetimeYears), f(r.RetentionWeakBits))
-	}
-	return t, nil
 }

@@ -27,31 +27,31 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden CSV snapshots")
 
-// goldenNames are the artifacts pinned under testdata/golden — the paper's
-// figures and tables (the extension studies have their own tests).
-var goldenNames = map[string]bool{
-	"fig1.csv": true, "fig3.csv": true, "fig4.csv": true,
-	"fig5.csv": true, "fig6.csv": true, "fig7.csv": true,
-	"table1.csv": true, "table2.csv": true,
-}
+// goldenNames are the artifacts pinned under testdata/golden — derived
+// from the registry, so a new descriptor is golden-covered automatically
+// (its first run fails with "missing golden", prompting an -update).
+var goldenNames = func() map[string]bool {
+	names := make(map[string]bool)
+	for _, file := range Artifacts().Files() {
+		names[file] = true
+	}
+	return names
+}()
 
-// buildArtifacts renders every golden-pinned CSV from one study.
+// buildArtifacts renders every golden-pinned CSV from one study through the
+// registry — the same path Export, the CLI and the HTTP server use.
 func buildArtifacts(t *testing.T, s *Study) map[string][]byte {
 	t.Helper()
 	out := make(map[string][]byte)
-	for _, a := range s.exportArtifacts() {
-		if !goldenNames[a.name] {
+	for _, d := range Artifacts().Descriptors() {
+		if !goldenNames[d.File] {
 			continue
 		}
-		tab, err := a.build()
-		if err != nil {
-			t.Fatalf("building %s: %v", a.name, err)
-		}
 		var buf bytes.Buffer
-		if err := tab.RenderCSV(&buf); err != nil {
-			t.Fatalf("rendering %s: %v", a.name, err)
+		if err := s.RenderArtifactCSV(&buf, d.Name); err != nil {
+			t.Fatalf("building %s: %v", d.Name, err)
 		}
-		out[a.name] = buf.Bytes()
+		out[d.File] = buf.Bytes()
 	}
 	return out
 }

@@ -5,12 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"strings"
 
+	"coldtall"
 	"coldtall/internal/array"
 	"coldtall/internal/explorer"
+	"coldtall/internal/report"
 	"coldtall/internal/workload"
 )
 
@@ -58,13 +59,10 @@ func badRequest(w http.ResponseWriter, err error) {
 }
 
 // finiteOrNull maps +Inf (the model's "does not apply" value — SRAM
-// retention, non-wearing lifetime) to a JSON null.
-func finiteOrNull(v float64) *float64 {
-	if math.IsInf(v, 0) || math.IsNaN(v) {
-		return nil
-	}
-	return &v
-}
+// retention, non-wearing lifetime) to a JSON null. The policy lives in
+// internal/report so JSON null and the CSV "+Inf" spelling always cover
+// exactly the same values.
+func finiteOrNull(v float64) *float64 { return report.FiniteOrNull(v) }
 
 // characterizeResponse is the wire form of an array characterization.
 type characterizeResponse struct {
@@ -316,56 +314,102 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// artifactFor maps endpoint kind + number to the study's export artifact.
-func artifactFor(kind, n string) (string, error) {
-	switch kind {
-	case "figure":
-		switch n {
-		case "1", "3", "4", "5", "6", "7":
-			return "fig" + n + ".csv", nil
-		}
-		return "", fmt.Errorf("unknown figure %q (the paper has figures 1, 3, 4, 5, 6, 7)", n)
-	case "table":
-		switch n {
-		case "1", "2":
-			return "table" + n + ".csv", nil
-		}
-		return "", fmt.Errorf("unknown table %q (the paper has tables 1 and 2)", n)
+// artifactColumn is the wire form of one schema column.
+type artifactColumn struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Unit string `json:"unit,omitempty"`
+}
+
+// artifactInfo describes one registry artifact: identity, paper mapping
+// and typed column schema, without rows.
+type artifactInfo struct {
+	Name    string           `json:"name"`
+	File    string           `json:"file"`
+	Title   string           `json:"title"`
+	Paper   string           `json:"paper,omitempty"`
+	Columns []artifactColumn `json:"columns"`
+}
+
+func artifactInfoDTO(d coldtall.ArtifactDescriptor) artifactInfo {
+	info := artifactInfo{
+		Name:    d.Name,
+		File:    d.File,
+		Title:   d.Title,
+		Paper:   d.Paper,
+		Columns: make([]artifactColumn, len(d.Columns)),
 	}
-	return "", fmt.Errorf("unknown artifact kind %q", kind)
+	for i, c := range d.Columns {
+		info.Columns[i] = artifactColumn{Name: c.Name, Kind: c.Kind.String(), Unit: c.Unit}
+	}
+	return info
 }
 
-// artifactResponse is the JSON form of a rendered artifact: the exact
-// columns and rows the CLI's CSV export produces.
+// artifactListResponse enumerates the registry in paper order.
+type artifactListResponse struct {
+	Artifacts []artifactInfo `json:"artifacts"`
+}
+
+// artifactResponse is the JSON form of a built artifact: its schema plus
+// typed rows. Float cells encode as JSON numbers; NaN and ±Inf (spelled
+// "+Inf" etc. in the CSV form) encode as null — report.FiniteOrNull.
 type artifactResponse struct {
-	Name    string     `json:"name"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
+	artifactInfo
+	Rows [][]any `json:"rows"`
 }
 
-// handleArtifact serves a figure or table by number, as JSON (default) or
-// CSV (?format=csv), built through the same artifact table the CLI's
-// export writes — the two are always consistent.
-func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request, kind string) {
-	name, err := artifactFor(kind, r.PathValue("n"))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+// handleArtifactList serves the registry catalog: every artifact's name,
+// file, title, paper mapping and typed schema. The catalog is static per
+// build, so it is computed inline without touching the response cache.
+func (s *Server) handleArtifactList(w http.ResponseWriter, r *http.Request) {
+	descriptors := coldtall.Artifacts().Descriptors()
+	resp := artifactListResponse{Artifacts: make([]artifactInfo, len(descriptors))}
+	for i, d := range descriptors {
+		resp.Artifacts[i] = artifactInfoDTO(d)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// artifactFormat negotiates the response format: an explicit ?format=csv
+// or ?format=json wins; otherwise an Accept header naming text/csv selects
+// CSV and everything else defaults to JSON.
+func artifactFormat(r *http.Request) (string, error) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "json", "csv":
+		return format, nil
+	case "":
+		if strings.Contains(r.Header.Get("Accept"), "text/csv") {
+			return "csv", nil
+		}
+		return "json", nil
+	default:
+		return "", fmt.Errorf("unknown format %q (want json or csv)", format)
+	}
+}
+
+// serveArtifact serves one registry artifact as JSON or CSV, built through
+// the same registry table the CLI's export writes — the two are always
+// byte-for-byte consistent. The cache key is per (artifact, format), so
+// the generic route and the figure/table aliases share cache entries.
+func (s *Server) serveArtifact(w http.ResponseWriter, r *http.Request, name string) {
+	d, ok := coldtall.Artifacts().Lookup(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown artifact %q (see GET /v1/artifacts for the catalog)", name), http.StatusNotFound)
 		return
 	}
-	format := r.URL.Query().Get("format")
-	switch format {
-	case "", "json", "csv":
-	default:
-		badRequest(w, fmt.Errorf("unknown format %q (want json or csv)", format))
+	format, err := artifactFormat(r)
+	if err != nil {
+		badRequest(w, err)
 		return
 	}
 	contentType := "application/json"
 	if format == "csv" {
 		contentType = "text/csv; charset=utf-8"
 	}
-	key := kind + "|" + name + "|" + format
+	key := "artifact|" + d.Name + "|" + format
 	s.serveCached(w, r, contentType, key, func(ctx context.Context) ([]byte, error) {
-		t, err := s.study.WithContext(ctx).ArtifactTable(name)
+		t, err := s.study.WithContext(ctx).ArtifactTable(d.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -376,18 +420,48 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request, kind str
 			}
 			return []byte(b.String()), nil
 		}
-		rows := t.Rows()
+		rows := t.JSONRows()
 		if rows == nil {
-			rows = [][]string{}
+			rows = [][]any{}
 		}
-		return json.Marshal(artifactResponse{Name: name, Columns: t.Columns, Rows: rows})
+		return json.Marshal(artifactResponse{artifactInfo: artifactInfoDTO(d), Rows: rows})
 	})
 }
 
+// handleArtifactByName serves GET /v1/artifacts/{name}; name may be the
+// registry name ("fig1") or the export file name ("fig1.csv").
+func (s *Server) handleArtifactByName(w http.ResponseWriter, r *http.Request) {
+	s.serveArtifact(w, r, r.PathValue("name"))
+}
+
+// aliasNumbers lists the registry numbers behind a fig/table alias prefix,
+// for the 404 message ("1, 3, 4, 5, 6, 7").
+func aliasNumbers(prefix string) string {
+	var nums []string
+	for _, name := range coldtall.Artifacts().Names() {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && rest != "" {
+			nums = append(nums, rest)
+		}
+	}
+	return strings.Join(nums, ", ")
+}
+
+// handleFigure and handleTable are thin aliases onto the artifact registry
+// kept for URL stability: /v1/figures/3 is /v1/artifacts/fig3.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
-	s.handleArtifact(w, r, "figure")
+	s.serveAlias(w, r, "figure", "fig")
 }
 
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
-	s.handleArtifact(w, r, "table")
+	s.serveAlias(w, r, "table", "table")
+}
+
+func (s *Server) serveAlias(w http.ResponseWriter, r *http.Request, kind, prefix string) {
+	n := r.PathValue("n")
+	name := prefix + n
+	if _, ok := coldtall.Artifacts().Lookup(name); !ok {
+		http.Error(w, fmt.Sprintf("unknown %s %q (the paper has %ss %s)", kind, n, kind, aliasNumbers(prefix)), http.StatusNotFound)
+		return
+	}
+	s.serveArtifact(w, r, name)
 }

@@ -8,15 +8,22 @@
 //
 // Endpoints:
 //
-//	POST /v1/characterize   array characterization of one design point
-//	POST /v1/evaluate       application-level metrics under one benchmark
-//	POST /v1/sweep          points x benchmarks evaluation grid
-//	POST /v1/pareto         Pareto-optimal internal organizations
-//	GET  /v1/figures/{n}    paper figure data (n in 1,3,4,5,6,7; ?format=csv)
-//	GET  /v1/tables/{n}     paper table data (n in 1,2; ?format=csv)
-//	GET  /healthz           liveness (503 while draining)
-//	GET  /metrics           Prometheus text exposition
-//	GET  /debug/pprof/      runtime profiles
+//	POST /v1/characterize        array characterization of one design point
+//	POST /v1/evaluate            application-level metrics under one benchmark
+//	POST /v1/sweep               points x benchmarks evaluation grid
+//	POST /v1/pareto              Pareto-optimal internal organizations
+//	GET  /v1/artifacts           artifact catalog: names, titles, typed schemas
+//	GET  /v1/artifacts/{name}    any registry artifact (JSON, or CSV via
+//	                             ?format=csv / Accept: text/csv)
+//	GET  /v1/figures/{n}         alias for /v1/artifacts/fig{n} (n in 1,3,4,5,6,7)
+//	GET  /v1/tables/{n}          alias for /v1/artifacts/table{n} (n in 1,2)
+//	GET  /healthz                liveness (503 while draining)
+//	GET  /metrics                Prometheus text exposition
+//	GET  /debug/pprof/           runtime profiles
+//
+// The artifact routes are generic over the registry (coldtall.Artifacts);
+// no per-artifact handler code exists, so a new descriptor is served
+// automatically.
 package server
 
 import (
@@ -170,6 +177,8 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/pareto", s.handlePareto)
+	mux.HandleFunc("GET /v1/artifacts", s.handleArtifactList)
+	mux.HandleFunc("GET /v1/artifacts/{name}", s.handleArtifactByName)
 	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -95,7 +95,8 @@ func TestCharacterizeGolden(t *testing.T) {
 }
 
 // TestTable2MatchesCLI is the core acceptance check: the HTTP table answer
-// carries exactly the columns and rows the CLI's Table II export renders.
+// carries exactly the schema and rows the CLI's Table II export renders,
+// and the alias route answers with the registry artifact.
 func TestTable2MatchesCLI(t *testing.T) {
 	s, study := newTestServer(t, Config{})
 	rr := get(t, s.Handler(), "/v1/tables/2")
@@ -103,9 +104,14 @@ func TestTable2MatchesCLI(t *testing.T) {
 		t.Fatalf("status = %d, body = %s", rr.Code, rr.Body)
 	}
 	var got struct {
-		Name    string     `json:"name"`
-		Columns []string   `json:"columns"`
-		Rows    [][]string `json:"rows"`
+		Name    string `json:"name"`
+		File    string `json:"file"`
+		Paper   string `json:"paper"`
+		Columns []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"columns"`
+		Rows [][]any `json:"rows"`
 	}
 	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
 		t.Fatal(err)
@@ -114,18 +120,43 @@ func TestTable2MatchesCLI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Name != "table2.csv" {
-		t.Errorf("name = %q", got.Name)
+	if got.Name != "table2" || got.File != "table2.csv" || got.Paper != "Table II" {
+		t.Errorf("identity = %q/%q/%q", got.Name, got.File, got.Paper)
 	}
-	if fmt.Sprint(got.Columns) != fmt.Sprint(want.Columns) {
-		t.Errorf("columns = %v, want %v", got.Columns, want.Columns)
+	var colNames []string
+	for _, c := range got.Columns {
+		colNames = append(colNames, c.Name)
 	}
-	if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows()) {
-		t.Errorf("rows drifted from the CLI artifact table")
+	if fmt.Sprint(colNames) != fmt.Sprint(want.Columns) {
+		t.Errorf("columns = %v, want %v", colNames, want.Columns)
+	}
+	// Rows are typed JSON now; re-marshal both sides and compare the wire
+	// form (the CLI table's JSONRows is the same policy the server uses).
+	gotRows, err := json.Marshal(got.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows, err := json.Marshal(want.JSONRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotRows, wantRows) {
+		t.Errorf("rows drifted from the CLI artifact table:\ngot:  %s\nwant: %s", gotRows, wantRows)
 	}
 	checkGolden(t, "table2.golden.json", rr.Body.Bytes())
 
-	// The CSV rendering is the CLI export byte for byte.
+	// The alias is the generic route: byte-identical body, shared cache
+	// entry (the alias answer comes back as a hit on the artifact key).
+	generic := get(t, s.Handler(), "/v1/artifacts/table2")
+	if !bytes.Equal(generic.Body.Bytes(), rr.Body.Bytes()) {
+		t.Error("alias /v1/tables/2 and /v1/artifacts/table2 answer differently")
+	}
+	if xc := generic.Header().Get("X-Cache"); xc != "hit" {
+		t.Errorf("generic route after alias: X-Cache = %q, want hit (shared key)", xc)
+	}
+
+	// The CSV rendering is the CLI export byte for byte, whether asked for
+	// by query parameter or by Accept header.
 	rr = get(t, s.Handler(), "/v1/tables/2?format=csv")
 	if rr.Code != http.StatusOK {
 		t.Fatalf("csv status = %d", rr.Code)
@@ -139,6 +170,107 @@ func TestTable2MatchesCLI(t *testing.T) {
 	}
 	if _, err := csv.NewReader(rr.Body).ReadAll(); err != nil {
 		t.Errorf("response is not valid CSV: %v", err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/artifacts/table2", nil)
+	req.Header.Set("Accept", "text/csv")
+	acc := httptest.NewRecorder()
+	s.Handler().ServeHTTP(acc, req)
+	if !bytes.Equal(acc.Body.Bytes(), cli.Bytes()) {
+		t.Error("Accept: text/csv negotiation differs from ?format=csv")
+	}
+}
+
+// TestArtifactCatalog asserts GET /v1/artifacts lists every registry
+// artifact with its typed schema, in paper order.
+func TestArtifactCatalog(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	rr := get(t, s.Handler(), "/v1/artifacts")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", rr.Code, rr.Body)
+	}
+	var got struct {
+		Artifacts []struct {
+			Name    string `json:"name"`
+			File    string `json:"file"`
+			Title   string `json:"title"`
+			Columns []struct {
+				Name string `json:"name"`
+				Kind string `json:"kind"`
+				Unit string `json:"unit"`
+			} `json:"columns"`
+		} `json:"artifacts"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	want := coldtall.Artifacts().Descriptors()
+	if len(got.Artifacts) != len(want) {
+		t.Fatalf("catalog has %d artifacts, registry has %d", len(got.Artifacts), len(want))
+	}
+	for i, d := range want {
+		a := got.Artifacts[i]
+		if a.Name != d.Name || a.File != d.File || a.Title != d.Title {
+			t.Errorf("catalog[%d] = %q/%q, want %q/%q", i, a.Name, a.File, d.Name, d.File)
+		}
+		if len(a.Columns) != len(d.Columns) {
+			t.Errorf("%s: catalog has %d columns, schema has %d", d.Name, len(a.Columns), len(d.Columns))
+			continue
+		}
+		for j, c := range d.Columns {
+			if a.Columns[j].Name != c.Name || a.Columns[j].Kind != c.Kind.String() || a.Columns[j].Unit != c.Unit {
+				t.Errorf("%s column %d = %+v, want %s/%s/%s", d.Name, j, a.Columns[j], c.Name, c.Kind, c.Unit)
+			}
+		}
+	}
+}
+
+// TestArtifactsByteIdenticalAcrossSurfaces is the registry's consistency
+// contract, per artifact: the file Export writes, the CLI's streamed CSV,
+// the generic HTTP route and (where one exists) the figure/table alias all
+// produce the same bytes from one study.
+func TestArtifactsByteIdenticalAcrossSurfaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full export + HTTP round trips in -short mode")
+	}
+	s, study := newTestServer(t, Config{})
+	dir := t.TempDir()
+	if err := study.Export(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range coldtall.Artifacts().Descriptors() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			exported, err := os.ReadFile(filepath.Join(dir, d.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cli bytes.Buffer
+			if err := study.RenderArtifactCSV(&cli, d.Name); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cli.Bytes(), exported) {
+				t.Error("RenderArtifactCSV differs from the Export file")
+			}
+			rr := get(t, s.Handler(), "/v1/artifacts/"+d.Name+"?format=csv")
+			if rr.Code != http.StatusOK {
+				t.Fatalf("http status = %d, body = %s", rr.Code, rr.Body)
+			}
+			if !bytes.Equal(rr.Body.Bytes(), exported) {
+				t.Error("HTTP CSV differs from the Export file")
+			}
+			aliasPath := ""
+			if n, ok := strings.CutPrefix(d.Name, "fig"); ok {
+				aliasPath = "/v1/figures/" + n
+			} else if n, ok := strings.CutPrefix(d.Name, "table"); ok {
+				aliasPath = "/v1/tables/" + n
+			}
+			if aliasPath != "" {
+				alias := get(t, s.Handler(), aliasPath+"?format=csv")
+				if !bytes.Equal(alias.Body.Bytes(), exported) {
+					t.Errorf("alias %s differs from the Export file", aliasPath)
+				}
+			}
+		})
 	}
 }
 
@@ -327,7 +459,9 @@ func TestClientErrors(t *testing.T) {
 		{"unknown benchmark", http.MethodPost, "/v1/evaluate", `{"point":{"cell":"SRAM"},"benchmark":"doom"}`, http.StatusBadRequest},
 		{"unknown figure", http.MethodGet, "/v1/figures/2", "", http.StatusNotFound},
 		{"unknown table", http.MethodGet, "/v1/tables/9", "", http.StatusNotFound},
+		{"unknown artifact", http.MethodGet, "/v1/artifacts/fig2", "", http.StatusNotFound},
 		{"bad format", http.MethodGet, "/v1/tables/1?format=xml", "", http.StatusBadRequest},
+		{"bad artifact format", http.MethodGet, "/v1/artifacts/fig1?format=xml", "", http.StatusBadRequest},
 		{"wrong method", http.MethodGet, "/v1/characterize", "", http.StatusMethodNotAllowed},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Drift check between the two faces of the artifact registry: the CLI's
+# `coldtall artifacts list` catalog and the served GET /v1/artifacts must
+# enumerate exactly the same artifact names in the same (paper) order.
+# Both derive from coldtall.Artifacts(), so a mismatch means one surface
+# stopped iterating the registry — the regression this script exists to
+# catch.
+set -eu
+
+BIN="${TMPDIR:-/tmp}/coldtall-artifactcheck"
+ADDR="${COLDTALL_ARTIFACTCHECK_ADDR:-127.0.0.1:18081}"
+BASE="http://$ADDR"
+
+go build -o "$BIN" ./cmd/coldtall
+
+# CLI side: the first column of the catalog rows (skip the title line, the
+# header row and the separator rule).
+CLI_NAMES="$("$BIN" artifacts list | awk 'NR > 3 && NF > 0 { print $1 }')"
+[ -n "$CLI_NAMES" ] || { echo "artifactcheck FAIL: CLI catalog is empty" >&2; exit 1; }
+
+"$BIN" serve -addr "$ADDR" &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true' EXIT
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "artifactcheck FAIL: /healthz never came up on $ADDR" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# Served side: artifact-level name fields, in catalog order. Column schema
+# objects also carry "name", but only artifact objects pair it with "file",
+# so match on the pair (no jq on minimal runners).
+HTTP_NAMES="$(curl -fsS "$BASE/v1/artifacts" | tr '{' '\n' |
+  sed -n 's/.*"name":"\([^"]*\)","file".*/\1/p')"
+
+if [ "$CLI_NAMES" != "$HTTP_NAMES" ]; then
+  echo "artifactcheck FAIL: CLI and served artifact catalogs differ" >&2
+  echo "--- coldtall artifacts list:" >&2
+  echo "$CLI_NAMES" >&2
+  echo "--- GET /v1/artifacts:" >&2
+  echo "$HTTP_NAMES" >&2
+  exit 1
+fi
+
+# One artifact end to end: the served CSV must open with its schema header.
+curl -fsS "$BASE/v1/artifacts/table1?format=csv" | head -1 | grep -q '^parameter,value$'
+
+kill -TERM "$PID"
+wait "$PID" || { echo "artifactcheck FAIL: server did not drain cleanly" >&2; exit 1; }
+trap - EXIT
+
+COUNT="$(echo "$CLI_NAMES" | wc -l | tr -d ' ')"
+echo "artifactcheck OK: $COUNT artifacts, CLI and HTTP catalogs agree"

@@ -343,20 +343,12 @@ func TestNewStudyWithCoolingValidates(t *testing.T) {
 
 func TestRenderersProduceOutput(t *testing.T) {
 	s := study(t)
-	renders := map[string]func(*strings.Builder) error{
-		"fig1":    func(b *strings.Builder) error { return s.RenderFig1(b) },
-		"fig3":    func(b *strings.Builder) error { return s.RenderFig3(b) },
-		"fig4":    func(b *strings.Builder) error { return s.RenderFig4(b) },
-		"fig5":    func(b *strings.Builder) error { return s.RenderFig5(b, true) },
-		"fig6":    func(b *strings.Builder) error { return s.RenderFig6(b) },
-		"fig7":    func(b *strings.Builder) error { return s.RenderFig7(b, false) },
-		"table1":  func(b *strings.Builder) error { return RenderTable1(b) },
-		"table2":  func(b *strings.Builder) error { return s.RenderTable2(b) },
-		"cooling": func(b *strings.Builder) error { return s.RenderCoolingSweep(b) },
-	}
-	for name, render := range renders {
+	// Every registry artifact renders through the one generic renderer;
+	// fig5 also exercises the plot path (its descriptor carries scatter
+	// hints).
+	for _, name := range Artifacts().Names() {
 		var b strings.Builder
-		if err := render(&b); err != nil {
+		if err := s.RenderArtifact(&b, name, name == "fig5"); err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
 		}
