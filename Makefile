@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmtcheck race servecheck smoke artifactcheck vulncheck bench golden-update
+.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck vulncheck bench golden-update
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,18 @@ servecheck:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/server/... ./internal/cache/... ./internal/metrics/...
 
-# Boot `coldtall serve`, exercise the cache path over real HTTP, scrape
-# /metrics, and assert a clean SIGTERM drain.
+# The persistence + async-job gate: the content-addressed store, the job
+# manager (including the kill-and-resume crash-recovery test), and the
+# server's job endpoints, all under the race detector.
+jobcheck:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/store/... ./internal/job/...
+	$(GO) test -race -run 'TestJob|TestAsync|TestStoreWarmed|TestCharacterization|TestEviction' ./internal/server/
+
+# Boot `coldtall serve` with a persistent store, exercise the cache path
+# over real HTTP, run an async job end to end (submit, poll, byte-diff
+# against the synchronous artifact), scrape /metrics, and assert a clean
+# SIGTERM drain.
 smoke:
 	./scripts/smoke.sh
 

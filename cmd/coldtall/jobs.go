@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"coldtall"
+	"coldtall/internal/job"
+)
+
+// runJobs implements the async-job client family against a running serve
+// instance:
+//
+//	coldtall jobs [-server URL] list
+//	coldtall jobs [-server URL] submit <artifact|spec.json|->
+//	coldtall jobs [-server URL] status <id>
+//	coldtall jobs [-server URL] wait <id>     # poll to a terminal state, print the result
+//	coldtall jobs [-server URL] cancel <id>
+//
+// submit accepts either a registry artifact name (shorthand for an
+// artifact job), a path to a job-spec JSON file, or "-" for a spec on
+// stdin.
+func runJobs(ctx context.Context, w io.Writer, f cliFlags) error {
+	c := jobsClient{base: strings.TrimRight(f.server, "/")}
+	verb := f.args.arg(0)
+	switch verb {
+	case "", "list":
+		return c.list(ctx, w)
+	case "submit":
+		return c.submit(ctx, w, f.args.arg(1))
+	case "status":
+		return c.status(ctx, w, f.args.arg(1))
+	case "wait":
+		return c.wait(ctx, w, f.args.arg(1), f.poll)
+	case "cancel":
+		return c.cancel(ctx, w, f.args.arg(1))
+	}
+	return fmt.Errorf("unknown jobs verb %q (want list, submit, status, wait, cancel)", verb)
+}
+
+// jobsClient speaks the /v1/jobs API of a running serve instance.
+type jobsClient struct {
+	base string
+}
+
+// do issues one request and decodes the JSON status answer; non-2xx
+// responses surface the server's error text.
+func (c jobsClient) do(ctx context.Context, method, path string, body []byte) (job.Status, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return job.Status{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return job.Status{}, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return job.Status{}, err
+	}
+	if resp.StatusCode >= 300 {
+		return job.Status{}, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(payload)))
+	}
+	var st job.Status
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return job.Status{}, fmt.Errorf("%s %s: decoding status: %w", method, path, err)
+	}
+	return st, nil
+}
+
+// requireID guards the id-taking verbs against a missing argument.
+func requireID(verb, id string) error {
+	if id == "" {
+		return fmt.Errorf("jobs %s: a job ID is required (see `coldtall jobs list`)", verb)
+	}
+	return nil
+}
+
+func (c jobsClient) list(ctx context.Context, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var table struct {
+		Jobs []job.Status `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+		return fmt.Errorf("decoding job list: %w", err)
+	}
+	if len(table.Jobs) == 0 {
+		fmt.Fprintln(w, "no jobs")
+		return nil
+	}
+	for _, st := range table.Jobs {
+		printStatus(w, st)
+	}
+	return nil
+}
+
+// submit resolves its argument (artifact name, spec file, or "-") into a
+// spec payload, posts it, and prints the resulting status line.
+func (c jobsClient) submit(ctx context.Context, w io.Writer, arg string) error {
+	if arg == "" {
+		return fmt.Errorf("jobs submit: an artifact name, a spec file, or - (stdin) is required")
+	}
+	var spec []byte
+	switch {
+	case func() bool { _, ok := coldtall.Artifacts().Lookup(arg); return ok }():
+		spec = []byte(fmt.Sprintf(`{"kind":"artifact","artifact":%q}`, arg))
+	case arg == "-":
+		var err error
+		if spec, err = io.ReadAll(os.Stdin); err != nil {
+			return fmt.Errorf("jobs submit: reading stdin: %w", err)
+		}
+	default:
+		var err error
+		if spec, err = os.ReadFile(arg); err != nil {
+			return fmt.Errorf("jobs submit: %w", err)
+		}
+	}
+	st, err := c.do(ctx, http.MethodPost, "/v1/jobs", spec)
+	if err != nil {
+		return err
+	}
+	printStatus(w, st)
+	return nil
+}
+
+func (c jobsClient) status(ctx context.Context, w io.Writer, id string) error {
+	if err := requireID("status", id); err != nil {
+		return err
+	}
+	st, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	printStatus(w, st)
+	return nil
+}
+
+// wait polls the job to a terminal state, then streams the result payload
+// (sweep JSON or artifact CSV) to w. Failed and cancelled jobs become
+// errors so shell pipelines see a non-zero exit.
+func (c jobsClient) wait(ctx context.Context, w io.Writer, id string, poll time.Duration) error {
+	if err := requireID("wait", id); err != nil {
+		return err
+	}
+	for {
+		st, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+		if err != nil {
+			return err
+		}
+		if st.State.Terminal() {
+			switch st.State {
+			case job.StateDone:
+				return c.result(ctx, w, id)
+			case job.StateFailed:
+				return fmt.Errorf("job %s failed: %s", id, st.Error)
+			default:
+				return fmt.Errorf("job %s was cancelled", id)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// result streams the done job's payload verbatim.
+func (c jobsClient) result(ctx context.Context, w io.Writer, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET /v1/jobs/%s/result: %s: %s", id, resp.Status, strings.TrimSpace(string(payload)))
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func (c jobsClient) cancel(ctx context.Context, w io.Writer, id string) error {
+	if err := requireID("cancel", id); err != nil {
+		return err
+	}
+	st, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	printStatus(w, st)
+	return nil
+}
+
+// printStatus renders one job as a single parseable line: ID first, then
+// state, progress, and kind.
+func printStatus(w io.Writer, st job.Status) {
+	line := fmt.Sprintf("%s  %-9s  %d/%d  %s", st.ID, st.State, st.Done, st.Total, st.Kind)
+	if st.Artifact != "" {
+		line += " " + st.Artifact
+	}
+	if st.Resumed > 0 {
+		line += fmt.Sprintf("  (resumed %d from checkpoint)", st.Resumed)
+	}
+	if st.Error != "" {
+		line += "  error: " + st.Error
+	}
+	fmt.Fprintln(w, line)
+}

@@ -32,6 +32,15 @@
 //	coldtall eval -config study.json
 //	coldtall export -dir out
 //	coldtall serve -addr :8080       # HTTP DSE service (see internal/server)
+//	coldtall serve -store-dir /var/coldtall  # + persistent store, warm restarts
+//
+// Async jobs (against a running serve instance):
+//
+//	coldtall jobs list
+//	coldtall jobs submit table2      # artifact name, spec file, or - (stdin)
+//	coldtall jobs status <id>
+//	coldtall jobs wait <id> > out.csv
+//	coldtall jobs cancel <id>
 //
 // Flags:
 //
@@ -41,6 +50,9 @@
 //	                             1 = serial; outputs identical either way)
 //	-addr, -cache-size, -timeout serve: listen address, response cache
 //	                             entries, per-request compute deadline
+//	-store-dir, -job-workers     serve: result-store directory (enables
+//	                             checkpointed jobs + warm restarts), job pool
+//	-server, -poll               jobs: serve base URL, wait poll interval
 //
 // SIGINT/SIGTERM cancel in-flight sweeps; serve drains gracefully.
 package main
@@ -93,11 +105,15 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	addr := fs.String("addr", ":8080", "serve: listen address")
 	cacheSize := fs.Int("cache-size", 1024, "serve: response cache capacity in entries")
 	timeout := fs.Duration("timeout", 60*time.Second, "serve: per-request compute deadline")
+	storeDir := fs.String("store-dir", "", "serve: persistent result-store directory (empty = in-memory only)")
+	jobWorkers := fs.Int("job-workers", 0, "serve: async job worker pool size (0 = one per CPU)")
+	serverURL := fs.String("server", "http://localhost:8080", "jobs: base URL of a running serve instance")
+	poll := fs.Duration("poll", 250*time.Millisecond, "jobs wait: status poll interval")
 	format := fs.String("format", "table", "artifacts: output format (table, csv)")
 
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, artifacts, eval, export, sweep, pareto, serve, all)")
+		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, artifacts, eval, export, sweep, pareto, serve, jobs, all)")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -121,6 +137,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		plot: *plot, outDir: *outDir, configPath: *configPath,
 		cellName: *cellName, corner: *corner, dies: *dies, temp: *temp,
 		addr: *addr, cacheSize: *cacheSize, timeout: *timeout,
+		storeDir: *storeDir, jobWorkers: *jobWorkers,
+		server: *serverURL, poll: *poll,
 		format: *format, args: positional(fs.Args()),
 	}); err != nil {
 		if errors.Is(err, errUnknownSubcommand) {
@@ -141,6 +159,10 @@ type cliFlags struct {
 	addr               string
 	cacheSize          int
 	timeout            time.Duration
+	storeDir           string
+	jobWorkers         int
+	server             string
+	poll               time.Duration
 	format             string
 	args               positional
 }
@@ -221,6 +243,8 @@ func dispatch(ctx context.Context, cmd string, study *coldtall.Study, w io.Write
 		return pareto(ctx, w, f)
 	case "serve":
 		return serveHTTP(ctx, study, w, f)
+	case "jobs":
+		return runJobs(ctx, w, f)
 	default:
 		// Any registry artifact is a subcommand: `coldtall fig5`,
 		// `coldtall table2`, `coldtall cooling`, ...
@@ -294,11 +318,17 @@ func serveHTTP(ctx context.Context, study *coldtall.Study, w io.Writer, f cliFla
 		Addr:         f.addr,
 		CacheEntries: f.cacheSize,
 		Timeout:      f.timeout,
+		StoreDir:     f.storeDir,
+		JobWorkers:   f.jobWorkers,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "serving the DSE API on %s (SIGINT/SIGTERM to drain)\n", f.addr)
+	if f.storeDir != "" {
+		fmt.Fprintf(w, "serving the DSE API on %s, persisting to %s (SIGINT/SIGTERM to drain)\n", f.addr, f.storeDir)
+	} else {
+		fmt.Fprintf(w, "serving the DSE API on %s (SIGINT/SIGTERM to drain)\n", f.addr)
+	}
 	return srv.ListenAndServe(ctx)
 }
 

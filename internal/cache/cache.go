@@ -80,19 +80,37 @@ func (s *shard[V]) len() int {
 type Stats struct {
 	// Hits and Misses count Get/Do lookups.
 	Hits, Misses int64
+	// TierHits counts lookups that missed the LRU but were served (and
+	// promoted) from the persistence tier; they are included in Hits.
+	TierHits int64
 	// Evictions counts entries displaced by capacity pressure.
 	Evictions int64
 	// Len is the current entry count across all shards.
 	Len int
 }
 
-// Cache is a sharded LRU with a singleflight-guarded compute path. Safe
-// for concurrent use. Construct with New.
+// Tier is an optional second cache level behind the LRU — in production a
+// disk-backed store (internal/store), so the bounded in-memory tier holds
+// the hot set while the full result history survives restarts. Load
+// reports whether the key exists; Store persists a value and is expected
+// to swallow its own errors (persistence is best-effort from the cache's
+// point of view — a failed write costs a future recomputation, nothing
+// else). Implementations must be safe for concurrent use.
+type Tier[V any] interface {
+	Load(key string) (V, bool)
+	Store(key string, v V)
+}
+
+// Cache is a sharded LRU with a singleflight-guarded compute path and an
+// optional persistence tier. Safe for concurrent use. Construct with New.
 type Cache[V any] struct {
 	shards    []*shard[V]
 	flight    parallel.Flight[V]
+	tier      Tier[V]
+	onEvict   func(n int)
 	hits      atomic.Int64
 	misses    atomic.Int64
+	tierHits  atomic.Int64
 	evictions atomic.Int64
 }
 
@@ -121,9 +139,42 @@ func (c *Cache[V]) shardFor(key string) *shard[V] {
 	return c.shards[h.Sum32()%uint32(len(c.shards))]
 }
 
+// SetTier attaches a persistence tier: LRU misses fall through to it (a
+// tier hit is promoted into the LRU), and every Add writes through to it,
+// so an entry later evicted from the LRU is still one tier read away
+// rather than a recomputation. Set it before the cache takes traffic; the
+// field is not synchronized against concurrent lookups.
+func (c *Cache[V]) SetTier(t Tier[V]) { c.tier = t }
+
+// SetOnEvict registers a hook called with the number of entries displaced
+// whenever an insert evicts under capacity pressure (the serving layer
+// feeds an eviction counter metric from it). The hook runs outside the
+// shard lock. Set it before the cache takes traffic.
+func (c *Cache[V]) SetOnEvict(fn func(n int)) { c.onEvict = fn }
+
+// lookup is the two-level read path: the LRU shard first, then the
+// persistence tier with promotion. No stats are counted here — Get and Do
+// attribute hits and misses at their own level.
+func (c *Cache[V]) lookup(key string) (V, bool) {
+	if v, ok := c.shardFor(key).get(key); ok {
+		return v, true
+	}
+	if c.tier != nil {
+		if v, ok := c.tier.Load(key); ok {
+			c.tierHits.Add(1)
+			// Promote without writing back through the tier — the value
+			// just came from there.
+			c.seed(key, v)
+			return v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
 // Get returns the cached value for key, counting the lookup in the stats.
 func (c *Cache[V]) Get(key string) (V, bool) {
-	v, ok := c.shardFor(key).get(key)
+	v, ok := c.lookup(key)
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -132,9 +183,30 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return v, ok
 }
 
-// Add inserts key unconditionally (most callers want Do instead).
+// seed inserts into the LRU only (no tier write-through): the warm-start
+// path and tier promotions use it.
+func (c *Cache[V]) seed(key string, v V) {
+	evicted := c.shardFor(key).add(key, v)
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+		if c.onEvict != nil {
+			c.onEvict(evicted)
+		}
+	}
+}
+
+// Seed inserts key into the in-memory LRU without writing through to the
+// persistence tier — the boot-time warm-start path, which replays entries
+// that are already durable.
+func (c *Cache[V]) Seed(key string, v V) { c.seed(key, v) }
+
+// Add inserts key unconditionally, writing through to the persistence
+// tier when one is attached (most callers want Do instead).
 func (c *Cache[V]) Add(key string, v V) {
-	c.evictions.Add(int64(c.shardFor(key).add(key, v)))
+	c.seed(key, v)
+	if c.tier != nil {
+		c.tier.Store(key, v)
+	}
 }
 
 // Do returns the value for key, computing it with fn on a miss. Concurrent
@@ -143,7 +215,7 @@ func (c *Cache[V]) Add(key string, v V) {
 // next caller recomputes. The returned flag reports whether the value came
 // from the cache (for hit/miss metrics at the caller's layer).
 func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, bool, error) {
-	if v, ok := c.shardFor(key).get(key); ok {
+	if v, ok := c.lookup(key); ok {
 		c.hits.Add(1)
 		return v, true, nil
 	}
@@ -153,7 +225,7 @@ func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, bool, error) {
 		// Re-check under the flight: a previous flight for this key may
 		// have populated the cache between our miss and winning the
 		// flight.
-		if v, ok := c.shardFor(key).get(key); ok {
+		if v, ok := c.lookup(key); ok {
 			hit = true
 			return v, nil
 		}
@@ -181,6 +253,7 @@ func (c *Cache[V]) Stats() Stats {
 	return Stats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
+		TierHits:  c.tierHits.Load(),
 		Evictions: c.evictions.Load(),
 		Len:       n,
 	}

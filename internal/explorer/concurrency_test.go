@@ -47,7 +47,7 @@ func TestCharacterizeSingleflight(t *testing.T) {
 			t.Fatalf("caller %d got a different characterization", i)
 		}
 	}
-	if got := e.optimizeCalls.Load(); got != 1 {
+	if got := e.OptimizeCalls(); got != 1 {
 		t.Errorf("array.Optimize ran %d times for %d concurrent callers of one point, want 1", got, n)
 	}
 
@@ -55,7 +55,7 @@ func TestCharacterizeSingleflight(t *testing.T) {
 	if _, err := e.Characterize(p); err != nil {
 		t.Fatal(err)
 	}
-	if got := e.optimizeCalls.Load(); got != 1 {
+	if got := e.OptimizeCalls(); got != 1 {
 		t.Errorf("cache hit re-ran Optimize (%d calls)", got)
 	}
 }
@@ -91,7 +91,7 @@ func TestCharacterizeDistinctPointsConcurrently(t *testing.T) {
 	close(start)
 	wg.Wait()
 
-	if got := e.optimizeCalls.Load(); got != int64(len(points)) {
+	if got := e.OptimizeCalls(); got != int64(len(points)) {
 		t.Errorf("Optimize ran %d times for %d distinct points, want one each", got, len(points))
 	}
 }
@@ -147,7 +147,7 @@ func TestEvaluateConcurrentMixedPoints(t *testing.T) {
 
 	// Three unique characterizations: the two points plus the slowdown
 	// baseline shared by every cell (Baseline is one of the points here).
-	if got := e.optimizeCalls.Load(); got != 2 {
+	if got := e.OptimizeCalls(); got != 2 {
 		t.Errorf("Optimize ran %d times, want 2 (one per unique point)", got)
 	}
 }

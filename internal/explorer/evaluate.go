@@ -56,6 +56,48 @@ type Evaluation struct {
 	LifetimeYears float64
 }
 
+// ModelVersion stamps persisted characterization results with the physics
+// they were computed under. Bump it whenever the array/cell/tech/stack
+// models change observable numbers — a persistent result store
+// (internal/store) keyed with the old stamp is then invalidated wholesale
+// instead of serving stale physics.
+const ModelVersion = "coldtall-physics-v1"
+
+// ResultStore is the optional persistence hook behind the characterization
+// cache: a disk-backed store (wired by the serving layer) that lets
+// characterizations survive process restarts. Load reports whether the key
+// exists; Save is best-effort (a failed write costs a future
+// recomputation). Implementations must be safe for concurrent use.
+type ResultStore interface {
+	Load(key string) (array.Result, bool)
+	Save(key string, r array.Result)
+}
+
+// charState is the characterization memory an Explorer computes through:
+// the in-process result cache, the singleflight group guarding it, the
+// optimize-invocation counter, and the optional persistence hook. It is a
+// separate shared structure so explorers that differ only in their cooling
+// environment (cooling touches Evaluate, never Characterize) can share one
+// memory — see WithCoolingShared.
+type charState struct {
+	mu    sync.Mutex
+	cache map[string]array.Result
+
+	// flight deduplicates in-flight characterizations so the expensive
+	// array.Optimize search runs at most once per design-point key even
+	// under concurrent callers.
+	flight parallel.Flight[array.Result]
+
+	// optimizeCalls counts actual array.Optimize invocations (cache,
+	// flight and persistence hits excluded) — observable via the
+	// concurrency tests.
+	optimizeCalls atomic.Int64
+
+	// persist, when non-nil, is consulted on cache misses and written on
+	// cache fills (under the flight, so each key is persisted once).
+	persist ResultStore
+}
+
 // Explorer evaluates design points under workloads. The zero value is not
 // usable; construct with New.
 //
@@ -72,17 +114,7 @@ type Explorer struct {
 	// the first sweep; it is not synchronized.
 	Workers int
 
-	mu    sync.Mutex
-	cache map[string]array.Result
-
-	// flight deduplicates in-flight characterizations so the expensive
-	// array.Optimize search runs at most once per design-point key even
-	// under concurrent callers.
-	flight parallel.Flight[array.Result]
-
-	// optimizeCalls counts actual array.Optimize invocations (cache and
-	// flight hits excluded) — observable via the concurrency tests.
-	optimizeCalls atomic.Int64
+	chars *charState
 }
 
 // New returns an Explorer with the paper's default cooling (100 kW-class
@@ -90,11 +122,14 @@ type Explorer struct {
 func New() *Explorer {
 	return &Explorer{
 		Cooling: cryo.DefaultCooling(),
-		cache:   make(map[string]array.Result),
+		chars:   &charState{cache: make(map[string]array.Result)},
 	}
 }
 
-// WithCooling returns an Explorer using a specific cooling environment.
+// WithCooling returns an Explorer using a specific cooling environment,
+// with its own characterization memory (the historical constructor for
+// fully independent explorers — derive from an existing one with
+// WithCoolingShared when the caches should be shared).
 func WithCooling(c cryo.Cooling) (*Explorer, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -102,6 +137,30 @@ func WithCooling(c cryo.Cooling) (*Explorer, error) {
 	e := New()
 	e.Cooling = c
 	return e, nil
+}
+
+// WithCoolingShared returns an Explorer under a different cooling
+// environment that shares the receiver's characterization cache, flight
+// and persistence hook. Array characterization never depends on cooling —
+// cooling only folds into Evaluate's power accounting — so sub-studies
+// that sweep cooler classes (the Sec. III-C sensitivity) reuse every
+// characterization instead of re-running the optimizer per class.
+func (e *Explorer) WithCoolingShared(c cryo.Cooling) (*Explorer, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Explorer{Cooling: c, Workers: e.Workers, chars: e.chars}, nil
+}
+
+// SetPersistence attaches a persistent result store behind the
+// characterization cache: misses fall through to it, fills write through
+// to it, and a restarted process re-serves every previously characterized
+// point without re-running the optimizer. Set it before the explorer takes
+// traffic; the field is not synchronized against in-flight sweeps.
+func (e *Explorer) SetPersistence(rs ResultStore) {
+	e.chars.mu.Lock()
+	e.chars.persist = rs
+	e.chars.mu.Unlock()
 }
 
 // Characterize runs (and caches) the EDP-optimized array characterization
@@ -129,29 +188,42 @@ func (e *Explorer) CharacterizeContext(ctx context.Context, p DesignPoint) (arra
 		return array.Result{}, fmt.Errorf("explorer: characterizing %s: %w", p.Label, err)
 	}
 	key := p.Key()
-	e.mu.Lock()
-	r, ok := e.cache[key]
-	e.mu.Unlock()
+	cs := e.chars
+	cs.mu.Lock()
+	r, ok := cs.cache[key]
+	persist := cs.persist
+	cs.mu.Unlock()
 	if ok {
 		return r, nil
 	}
-	return e.flight.Do(key, func() (array.Result, error) {
+	return cs.flight.Do(key, func() (array.Result, error) {
 		// Re-check under the flight: a previous flight for this key may
 		// have filled the cache between our miss and winning the flight.
-		e.mu.Lock()
-		r, ok := e.cache[key]
-		e.mu.Unlock()
+		cs.mu.Lock()
+		r, ok := cs.cache[key]
+		cs.mu.Unlock()
 		if ok {
 			return r, nil
 		}
-		e.optimizeCalls.Add(1)
+		if persist != nil {
+			if r, ok := persist.Load(key); ok {
+				cs.mu.Lock()
+				cs.cache[key] = r
+				cs.mu.Unlock()
+				return r, nil
+			}
+		}
+		cs.optimizeCalls.Add(1)
 		r, err := array.OptimizeContext(ctx, p.arrayConfig())
 		if err != nil {
 			return array.Result{}, fmt.Errorf("explorer: characterizing %s: %w", p.Label, err)
 		}
-		e.mu.Lock()
-		e.cache[key] = r
-		e.mu.Unlock()
+		cs.mu.Lock()
+		cs.cache[key] = r
+		cs.mu.Unlock()
+		if persist != nil {
+			persist.Save(key, r)
+		}
 		return r, nil
 	})
 }
@@ -160,7 +232,7 @@ func (e *Explorer) CharacterizeContext(ctx context.Context, p DesignPoint) (arra
 // expensive array optimization (cache and flight hits excluded). The
 // serving layer's cache-stampede tests assert on it; it is also a useful
 // production gauge for cache effectiveness.
-func (e *Explorer) OptimizeCalls() int64 { return e.optimizeCalls.Load() }
+func (e *Explorer) OptimizeCalls() int64 { return e.chars.optimizeCalls.Load() }
 
 // Evaluate computes the application-level metrics of one design point under
 // one benchmark's traffic, following the paper's methodology: total LLC

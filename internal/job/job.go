@@ -1,0 +1,188 @@
+// Package job is the async sweep subsystem: long-running work (evaluation
+// grids, artifact builds) submitted once, identified by a deterministic job
+// ID, executed on background workers, and observable while it runs. Jobs
+// checkpoint completed cells through the persistent result store
+// (internal/store), so a killed process resumes a half-finished sweep from
+// its checkpoint instead of recomputing it; failed cells retry with capped
+// exponential backoff; cancellation propagates through the repository's
+// context plumbing. Standard library only.
+package job
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"coldtall/internal/explorer"
+	"coldtall/internal/workload"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// valid reports whether s is one of the five known states (used when
+// re-reading persisted records, which may come from a newer or corrupted
+// file).
+func (s State) valid() bool {
+	switch s {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Kind discriminates what a job computes.
+const (
+	// KindSweep evaluates a points x benchmarks grid (the async form of
+	// POST /v1/sweep).
+	KindSweep = "sweep"
+	// KindArtifact builds one registry artifact as CSV (the async form of
+	// GET /v1/artifacts/{name}?format=csv, byte-identical to it).
+	KindArtifact = "artifact"
+)
+
+// Spec describes a job. Equal specs canonicalize to equal job IDs, so
+// resubmitting the same work returns the existing job instead of queueing a
+// duplicate.
+type Spec struct {
+	// Kind selects the computation: KindSweep or KindArtifact.
+	Kind string `json:"kind"`
+
+	// Points and Benchmarks define a sweep grid (Kind == "sweep"); an
+	// empty benchmark list means all static benchmarks.
+	Points     []explorer.PointSpec `json:"points,omitempty"`
+	Benchmarks []string             `json:"benchmarks,omitempty"`
+
+	// Artifact names a registry artifact (Kind == "artifact").
+	Artifact string `json:"artifact,omitempty"`
+}
+
+// sweepGridLimit mirrors the synchronous endpoint's bound: a job is
+// long-running, not unbounded.
+const sweepGridLimit = 64
+
+// Validate checks the spec, resolving sweep points and benchmarks (the
+// same parse path the synchronous endpoints use, so a spec rejected here
+// would have been rejected there too).
+func (sp Spec) Validate() error {
+	switch sp.Kind {
+	case KindSweep:
+		if len(sp.Points) == 0 {
+			return fmt.Errorf("job: sweep needs at least one design point")
+		}
+		if len(sp.Points) > sweepGridLimit || len(sp.Benchmarks) > sweepGridLimit {
+			return fmt.Errorf("job: sweep grid too large: at most %d points and %d benchmarks", sweepGridLimit, sweepGridLimit)
+		}
+		for i, spec := range sp.Points {
+			if _, err := explorer.ParsePoint(spec); err != nil {
+				return fmt.Errorf("job: points[%d]: %w", i, err)
+			}
+		}
+		for i, name := range sp.Benchmarks {
+			if _, err := workload.StaticTrafficFor(name); err != nil {
+				return fmt.Errorf("job: benchmarks[%d]: %w", i, err)
+			}
+		}
+		return nil
+	case KindArtifact:
+		if sp.Artifact == "" {
+			return fmt.Errorf("job: artifact job needs an artifact name")
+		}
+		return nil
+	default:
+		return fmt.Errorf("job: unknown kind %q (want %q or %q)", sp.Kind, KindSweep, KindArtifact)
+	}
+}
+
+// id derives the deterministic job ID: "j" plus 16 hex characters of the
+// SHA-256 over the canonical spec rendering. Content-addressed IDs make
+// submission idempotent and give a restarted process the same name for the
+// same work.
+func (sp Spec) id() string {
+	canon := struct {
+		Kind       string               `json:"kind"`
+		Points     []explorer.PointSpec `json:"points,omitempty"`
+		Benchmarks []string             `json:"benchmarks,omitempty"`
+		Artifact   string               `json:"artifact,omitempty"`
+	}{sp.Kind, sp.Points, sp.Benchmarks, sp.Artifact}
+	b, err := json.Marshal(canon)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on it. Guard anyway.
+		b = []byte(fmt.Sprintf("%#v", sp))
+	}
+	sum := sha256.Sum256(b)
+	return "j" + hex.EncodeToString(sum[:8])
+}
+
+// Status is a point-in-time snapshot of a job, JSON-shaped for the
+// /v1/jobs endpoints.
+type Status struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State State  `json:"state"`
+	// Done and Total report progress in grid cells (artifact jobs are a
+	// single cell).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Error carries the failure message in state "failed".
+	Error string `json:"error,omitempty"`
+	// Artifact names the artifact for artifact jobs.
+	Artifact string `json:"artifact,omitempty"`
+	// Resumed counts cells restored from checkpoints rather than computed
+	// in this process — nonzero after a crash-recovery restart.
+	Resumed int `json:"resumed,omitempty"`
+}
+
+// record is the persisted form of a job (store key "job|<id>"). The result
+// payload is stored separately under "jobresult|<id>" so status reads stay
+// small.
+type record struct {
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	State  State  `json:"state"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	Error  string `json:"error,omitempty"`
+	CType  string `json:"content_type,omitempty"`
+	HasRes bool   `json:"has_result,omitempty"`
+}
+
+// Store key namespaces. Job bookkeeping shares the result store with the
+// characterization and response-cache namespaces; prefixes keep them
+// disjoint.
+const (
+	recordPrefix = "job|"
+	resultPrefix = "jobresult|"
+	cellPrefix   = "jobcell|"
+)
+
+func recordKey(id string) string { return recordPrefix + id }
+func resultKey(id string) string { return resultPrefix + id }
+
+// cellKey names one checkpointed grid cell: the job ID plus the cell's
+// design-point and benchmark keys (not indices), so a checkpoint is only
+// ever replayed into the exact (point, benchmark) cell it was computed for.
+func cellKey(id, pointKey, benchmark string) string {
+	return cellPrefix + id + "|" + pointKey + "|" + benchmark
+}
+
+// sortStatuses orders job listings deterministically by ID.
+func sortStatuses(list []Status) {
+	sort.Slice(list, func(i, j int) bool { return strings.Compare(list[i].ID, list[j].ID) < 0 })
+}

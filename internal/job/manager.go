@@ -1,0 +1,653 @@
+package job
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"coldtall"
+	"coldtall/internal/explorer"
+	"coldtall/internal/parallel"
+	"coldtall/internal/report"
+	"coldtall/internal/store"
+	"coldtall/internal/workload"
+)
+
+// Options tunes a Manager. The zero value of every field selects a
+// production-reasonable default.
+type Options struct {
+	// Store is the persistence layer for checkpoints, job records and
+	// results; nil runs jobs in memory only (no crash recovery).
+	Store *store.Store
+	// Workers bounds each sweep job's worker pool (0 = one per CPU).
+	Workers int
+	// MaxAttempts is the per-cell attempt budget (default 3): a failed
+	// cell retries with capped exponential backoff before failing the job.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the retry delay: base doubles per
+	// attempt, capped at max (defaults 25ms and 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// OnTransition, when set, observes every state change (the metrics
+	// layer feeds job counters from it). Called outside the job lock.
+	OnTransition func(id string, from, to State)
+	// Logger receives job lifecycle lines; nil discards them.
+	Logger *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 25 * time.Millisecond
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = time.Second
+	}
+	return o
+}
+
+// Job is one submitted computation. All fields are guarded by mu; read
+// through Status.
+type Job struct {
+	id   string
+	spec Spec
+
+	mu      sync.Mutex
+	state   State
+	done    int
+	total   int
+	resumed int
+	errMsg  string
+	result  []byte
+	ctype   string
+
+	cancel context.CancelFunc
+	fin    chan struct{}
+}
+
+// Manager owns the job table and the background workers. Construct with
+// NewManager; safe for concurrent use.
+type Manager struct {
+	study *coldtall.Study
+	opts  Options
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	wg   sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// evalCell computes one grid cell; overridable in tests to inject
+	// failures for the retry path.
+	evalCell func(ctx context.Context, p explorer.DesignPoint, tr workload.Traffic) (explorer.Evaluation, error)
+}
+
+// NewManager builds a manager over a study. The study's explorer (and so
+// its characterization cache and persistence) is shared with the
+// synchronous request path, so async and sync work warm each other.
+func NewManager(study *coldtall.Study, opts Options) (*Manager, error) {
+	if study == nil {
+		return nil, fmt.Errorf("job: study must not be nil")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		study:      study,
+		opts:       opts.withDefaults(),
+		jobs:       make(map[string]*Job),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	m.evalCell = func(ctx context.Context, p explorer.DesignPoint, tr workload.Traffic) (explorer.Evaluation, error) {
+		return study.Explorer().EvaluateContext(ctx, p, tr)
+	}
+	return m, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.opts.Logger != nil {
+		m.opts.Logger.Printf(format, args...)
+	}
+}
+
+// Submit validates the spec and starts (or finds) its job. Submission is
+// idempotent: the same spec maps to the same deterministic ID, and a live
+// or completed job under that ID is returned as-is rather than re-run.
+func (m *Manager) Submit(spec Spec) (Status, error) {
+	if err := spec.Validate(); err != nil {
+		return Status{}, err
+	}
+	if spec.Kind == KindArtifact {
+		if _, ok := coldtall.Artifacts().Lookup(spec.Artifact); !ok {
+			return Status{}, fmt.Errorf("job: unknown artifact %q", spec.Artifact)
+		}
+	}
+	id := spec.id()
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok {
+		m.mu.Unlock()
+		return j.Status(), nil
+	}
+	j := m.newJob(id, spec)
+	m.jobs[id] = j
+	m.mu.Unlock()
+	m.start(j)
+	return j.Status(), nil
+}
+
+func (m *Manager) newJob(id string, spec Spec) *Job {
+	total := 1
+	if spec.Kind == KindSweep {
+		benches := len(spec.Benchmarks)
+		if benches == 0 {
+			benches = len(workload.StaticTraffic())
+		}
+		total = len(spec.Points) * benches
+	}
+	return &Job{id: id, spec: spec, state: StateQueued, total: total, fin: make(chan struct{})}
+}
+
+// start launches a job's goroutine. The job must already be in the table.
+func (m *Manager) start(j *Job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	m.persist(j)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		m.run(ctx, j)
+	}()
+}
+
+// Get returns a job's status snapshot.
+func (m *Manager) Get(id string) (Status, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return j.Status(), true
+}
+
+// Result returns a done job's result payload and content type.
+func (m *Manager) Result(id string) ([]byte, string, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, "", false
+	}
+	j.mu.Lock()
+	res, ctype, state := j.result, j.ctype, j.state
+	j.mu.Unlock()
+	if state != StateDone {
+		return nil, "", false
+	}
+	if res == nil && m.opts.Store != nil {
+		// A recovered job: the record survived the restart, the payload
+		// lives in the store.
+		if b, ok := m.opts.Store.Get(resultKey(id)); ok {
+			res = b
+			j.mu.Lock()
+			j.result = b
+			j.mu.Unlock()
+		}
+	}
+	if res == nil {
+		return nil, "", false
+	}
+	return res, ctype, true
+}
+
+// List returns every known job's status, ordered by ID.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	out := make([]Status, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.Status())
+	}
+	m.mu.Unlock()
+	sortStatuses(out)
+	return out
+}
+
+// Cancel requests cancellation of a running or queued job. It reports
+// whether the job exists; cancelling a finished job is a no-op.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if !terminal && cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// Wait blocks until every running job finishes or ctx expires — the
+// server's drain path. Jobs checkpoint as they go, so a drain that times
+// out loses no completed work: Close cancels the stragglers and a restart
+// resumes them from the store.
+func (m *Manager) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close cancels every running job and waits for their goroutines. The
+// manager accepts no new work afterwards (submissions run under a
+// cancelled base context and finish as cancelled).
+func (m *Manager) Close() {
+	m.baseCancel()
+	m.wg.Wait()
+}
+
+// Recover replays persisted job records after a restart: finished jobs
+// become queryable again (their results served from the store), and jobs
+// that were queued or running when the process died are re-enqueued to
+// complete from their checkpoints. Returns the number of re-enqueued jobs.
+func (m *Manager) Recover() (int, error) {
+	if m.opts.Store == nil {
+		return 0, nil
+	}
+	var resumed []*Job
+	err := m.opts.Store.Walk(func(key string, val []byte) error {
+		id, ok := strings.CutPrefix(key, recordPrefix)
+		if !ok {
+			return nil
+		}
+		var rec record
+		if err := json.Unmarshal(val, &rec); err != nil || rec.ID != id || !rec.State.valid() {
+			return nil // unreadable record: skip, never poison the table
+		}
+		m.mu.Lock()
+		_, exists := m.jobs[id]
+		if exists {
+			m.mu.Unlock()
+			return nil
+		}
+		j := m.newJob(id, rec.Spec)
+		j.ctype = rec.CType
+		if rec.State.Terminal() {
+			j.state = rec.State
+			j.done, j.errMsg = rec.Done, rec.Error
+			close(j.fin)
+		} else {
+			// The process died mid-job; run it again from its checkpoints.
+			j.state = StateQueued
+			resumed = append(resumed, j)
+		}
+		m.jobs[id] = j
+		m.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("job: recover: %w", err)
+	}
+	for _, j := range resumed {
+		m.logf("job %s: resuming after restart", j.id)
+		m.start(j)
+	}
+	return len(resumed), nil
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:       j.id,
+		Kind:     j.spec.Kind,
+		State:    j.state,
+		Done:     j.done,
+		Total:    j.total,
+		Error:    j.errMsg,
+		Artifact: j.spec.Artifact,
+		Resumed:  j.resumed,
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.fin }
+
+// WaitFor blocks until the job with id finishes or ctx expires.
+func (m *Manager) WaitFor(ctx context.Context, id string) (Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("job: unknown job %q", id)
+	}
+	select {
+	case <-j.fin:
+		return j.Status(), nil
+	case <-ctx.Done():
+		return j.Status(), ctx.Err()
+	}
+}
+
+// transition moves the job to a new state, persists the record, and feeds
+// the observation hook.
+func (m *Manager) transition(j *Job, to State) {
+	j.mu.Lock()
+	from := j.state
+	j.state = to
+	j.mu.Unlock()
+	m.persist(j)
+	if m.opts.OnTransition != nil && from != to {
+		m.opts.OnTransition(j.id, from, to)
+	}
+	if to.Terminal() {
+		close(j.fin)
+	}
+}
+
+// persist writes the job record through the store (best-effort: job
+// bookkeeping must never fail a computation).
+func (m *Manager) persist(j *Job) {
+	if m.opts.Store == nil {
+		return
+	}
+	j.mu.Lock()
+	rec := record{
+		ID: j.id, Spec: j.spec, State: j.state,
+		Done: j.done, Total: j.total, Error: j.errMsg,
+		CType: j.ctype, HasRes: j.result != nil,
+	}
+	j.mu.Unlock()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if err := m.opts.Store.Put(recordKey(j.id), b); err != nil {
+		m.logf("job %s: persist record: %v", j.id, err)
+	}
+}
+
+// run executes the job to a terminal state.
+func (m *Manager) run(ctx context.Context, j *Job) {
+	m.transition(j, StateRunning)
+	var err error
+	switch j.spec.Kind {
+	case KindSweep:
+		err = m.runSweep(ctx, j)
+	case KindArtifact:
+		err = m.runArtifact(ctx, j)
+	default:
+		err = fmt.Errorf("job: unknown kind %q", j.spec.Kind)
+	}
+	switch {
+	case err == nil:
+		m.transition(j, StateDone)
+		m.logf("job %s: done", j.id)
+	case ctx.Err() != nil:
+		m.transition(j, StateCancelled)
+		m.logf("job %s: cancelled", j.id)
+	default:
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		m.transition(j, StateFailed)
+		m.logf("job %s: failed: %v", j.id, err)
+	}
+}
+
+// setResult records the payload before the done transition persists it.
+func (m *Manager) setResult(j *Job, body []byte, ctype string) {
+	j.mu.Lock()
+	j.result, j.ctype = body, ctype
+	j.mu.Unlock()
+	if m.opts.Store != nil {
+		if err := m.opts.Store.Put(resultKey(j.id), body); err != nil {
+			m.logf("job %s: persist result: %v", j.id, err)
+		}
+	}
+}
+
+// runArtifact builds one registry artifact as CSV through the exact
+// pipeline the synchronous endpoint uses (Study.ArtifactTable +
+// RenderCSV), so the async payload is byte-identical to
+// GET /v1/artifacts/{name}?format=csv.
+func (m *Manager) runArtifact(ctx context.Context, j *Job) error {
+	t, err := m.study.WithContext(ctx).ArtifactTable(j.spec.Artifact)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	if err := t.RenderCSV(&b); err != nil {
+		return err
+	}
+	m.setResult(j, []byte(b.String()), "text/csv; charset=utf-8")
+	j.mu.Lock()
+	j.done = j.total
+	j.mu.Unlock()
+	return nil
+}
+
+// sweepRow mirrors the synchronous /v1/sweep row shape.
+type sweepRow struct {
+	Point            string   `json:"point"`
+	Benchmark        string   `json:"benchmark"`
+	ReadsPerSec      float64  `json:"reads_per_sec"`
+	WritesPerSec     float64  `json:"writes_per_sec"`
+	DevicePowerW     float64  `json:"device_power_w"`
+	CoolingPowerW    float64  `json:"cooling_power_w"`
+	TotalPowerW      float64  `json:"total_power_w"`
+	AggregateLatency float64  `json:"aggregate_latency"`
+	Utilization      float64  `json:"utilization"`
+	ContentionFactor float64  `json:"contention_factor"`
+	Slowdown         bool     `json:"slowdown"`
+	LifetimeYears    *float64 `json:"lifetime_years"`
+}
+
+// sweepResult is the persisted JSON payload of a finished sweep job.
+type sweepResult struct {
+	Points     int        `json:"points"`
+	Benchmarks int        `json:"benchmarks"`
+	Rows       []sweepRow `json:"rows"`
+}
+
+func rowDTO(ev explorer.Evaluation) sweepRow {
+	return sweepRow{
+		Point:            ev.Point.Label,
+		Benchmark:        ev.Traffic.Benchmark,
+		ReadsPerSec:      ev.Traffic.ReadsPerSec,
+		WritesPerSec:     ev.Traffic.WritesPerSec,
+		DevicePowerW:     ev.DevicePower,
+		CoolingPowerW:    ev.CoolingPower,
+		TotalPowerW:      ev.TotalPower,
+		AggregateLatency: ev.AggregateLatency,
+		Utilization:      ev.Utilization,
+		ContentionFactor: ev.ContentionFactor,
+		Slowdown:         ev.Slowdown,
+		LifetimeYears:    report.FiniteOrNull(ev.LifetimeYears),
+	}
+}
+
+// runSweep evaluates the grid with per-cell checkpointing: each completed
+// cell is gob-encoded into the store under a key naming the exact (job,
+// point, benchmark) it belongs to, so a restarted job loads finished cells
+// and dispatches only the remainder. Cell failures retry with capped
+// exponential backoff before failing the job.
+func (m *Manager) runSweep(ctx context.Context, j *Job) error {
+	points := make([]explorer.DesignPoint, len(j.spec.Points))
+	for i, spec := range j.spec.Points {
+		p, err := explorer.ParsePoint(spec)
+		if err != nil {
+			return fmt.Errorf("points[%d]: %w", i, err)
+		}
+		points[i] = p
+	}
+	var traffics []workload.Traffic
+	if len(j.spec.Benchmarks) == 0 {
+		traffics = workload.StaticTraffic()
+	} else {
+		for i, name := range j.spec.Benchmarks {
+			tr, err := workload.StaticTrafficFor(name)
+			if err != nil {
+				return fmt.Errorf("benchmarks[%d]: %w", i, err)
+			}
+			traffics = append(traffics, tr)
+		}
+	}
+	cols := len(traffics)
+	n := len(points) * cols
+	evals := make([]explorer.Evaluation, n)
+
+	// Phase 1: replay checkpoints. Cells found in the store are final —
+	// evaluations are deterministic, so a checkpointed cell equals what a
+	// recomputation would produce, minus the optimizer time.
+	var pending []int
+	restored := 0
+	for cell := 0; cell < n; cell++ {
+		i, jx := cell/cols, cell%cols
+		if m.loadCell(j.id, points[i], traffics[jx], &evals[cell]) {
+			restored++
+		} else {
+			pending = append(pending, cell)
+		}
+	}
+	j.mu.Lock()
+	j.total = n
+	j.done = restored
+	j.resumed = restored
+	j.mu.Unlock()
+	m.persist(j)
+	if restored > 0 {
+		m.logf("job %s: restored %d/%d cells from checkpoints", j.id, restored, n)
+	}
+
+	// Phase 2: compute the remainder on the pool, checkpointing each cell
+	// as it lands and reporting progress per completed cell.
+	err := parallel.ForEachProgressContext(ctx, len(pending), m.opts.Workers, func(k int) error {
+		cell := pending[k]
+		i, jx := cell/cols, cell%cols
+		ev, err := m.evalWithRetry(ctx, points[i], traffics[jx])
+		if err != nil {
+			return err
+		}
+		evals[cell] = ev
+		m.saveCell(j.id, points[i], traffics[jx], ev)
+		return nil
+	}, func(done int) {
+		j.mu.Lock()
+		if restored+done > j.done {
+			j.done = restored + done
+		}
+		j.mu.Unlock()
+		m.persist(j)
+	})
+	if err != nil {
+		return err
+	}
+
+	res := sweepResult{Points: len(points), Benchmarks: cols}
+	for _, ev := range evals {
+		res.Rows = append(res.Rows, rowDTO(ev))
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	m.setResult(j, body, "application/json")
+	return nil
+}
+
+// evalWithRetry runs one cell with the attempt budget: transient failures
+// back off exponentially (capped), cancellation aborts immediately.
+func (m *Manager) evalWithRetry(ctx context.Context, p explorer.DesignPoint, tr workload.Traffic) (explorer.Evaluation, error) {
+	var ev explorer.Evaluation
+	var err error
+	for attempt := 1; attempt <= m.opts.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			t := time.NewTimer(backoffDelay(attempt-1, m.opts.BackoffBase, m.opts.BackoffMax))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ev, ctx.Err()
+			case <-t.C:
+			}
+		}
+		if ev, err = m.evalCell(ctx, p, tr); err == nil {
+			return ev, nil
+		}
+		if ctx.Err() != nil {
+			return ev, err
+		}
+	}
+	return ev, fmt.Errorf("job: cell %s/%s failed after %d attempts: %w", p.Label, tr.Benchmark, m.opts.MaxAttempts, err)
+}
+
+// backoffDelay is the capped exponential schedule: base doubling per
+// completed attempt, never above max.
+func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// loadCell restores one checkpointed evaluation; a missing or undecodable
+// checkpoint reports false and the cell recomputes.
+func (m *Manager) loadCell(id string, p explorer.DesignPoint, tr workload.Traffic, out *explorer.Evaluation) bool {
+	if m.opts.Store == nil {
+		return false
+	}
+	raw, ok := m.opts.Store.Get(cellKey(id, p.Key(), tr.Benchmark))
+	if !ok {
+		return false
+	}
+	var ev explorer.Evaluation
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&ev); err != nil {
+		return false
+	}
+	*out = ev
+	return true
+}
+
+// saveCell checkpoints one completed evaluation (best-effort).
+func (m *Manager) saveCell(id string, p explorer.DesignPoint, tr workload.Traffic, ev explorer.Evaluation) {
+	if m.opts.Store == nil {
+		return
+	}
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(ev); err != nil {
+		return
+	}
+	if err := m.opts.Store.Put(cellKey(id, p.Key(), tr.Benchmark), b.Bytes()); err != nil {
+		m.logf("job %s: checkpoint %s/%s: %v", id, p.Label, tr.Benchmark, err)
+	}
+}

@@ -56,6 +56,20 @@ func ForEach(n, workers int, fn func(i int) error) error {
 // wins over the cancellation error, so a sweep that genuinely failed before
 // the cancellation still reports its own failure.
 func ForEachContext(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachProgressContext(ctx, n, workers, fn, nil)
+}
+
+// ForEachProgressContext is ForEachContext with a per-item completion
+// hook: progress(done) fires after every item that returns nil, where done
+// is the cumulative count of completed items. It is the observation point
+// the async job layer reports sweep progress from — a killed-and-resumed
+// sweep knows how far it got without recounting work.
+//
+// The hook may be called concurrently from several workers and the done
+// values, while each unique and drawn from 1..n, may arrive out of order;
+// callers tracking high-water progress should keep the maximum. A nil
+// progress is ignored.
+func ForEachProgressContext(ctx context.Context, n, workers int, fn func(i int) error, progress func(done int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -67,6 +81,7 @@ func ForEachContext(ctx context.Context, n, workers int, fn func(i int) error) e
 		// The serial path keeps single-threaded callers allocation-free
 		// and is the reference semantics the parallel path must match.
 		var first error
+		done := 0
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				if first != nil {
@@ -74,14 +89,22 @@ func ForEachContext(ctx context.Context, n, workers int, fn func(i int) error) e
 				}
 				return fmt.Errorf("parallel: sweep cancelled at item %d of %d: %w", i, n, err)
 			}
-			if err := fn(i); err != nil && first == nil {
-				first = err
+			if err := fn(i); err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				done++
+				if progress != nil {
+					progress(done)
+				}
 			}
 		}
 		return first
 	}
 	errs := make([]error, n)
 	var next int
+	var done atomic.Int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -99,7 +122,9 @@ func ForEachContext(ctx context.Context, n, workers int, fn func(i int) error) e
 				if i >= n {
 					return
 				}
-				errs[i] = safeCall(fn, i)
+				if errs[i] = safeCall(fn, i); errs[i] == nil && progress != nil {
+					progress(int(done.Add(1)))
+				}
 			}
 		}()
 	}

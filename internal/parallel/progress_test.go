@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestForEachProgressSerial pins the serial reference semantics: progress
+// fires once per successful item, in order, with cumulative counts.
+func TestForEachProgressSerial(t *testing.T) {
+	var seen []int
+	err := ForEachProgressContext(context.Background(), 5, 1, func(i int) error {
+		return nil
+	}, func(done int) { seen = append(seen, done) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("progress fired %d times, want 5: %v", len(seen), seen)
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("serial progress out of order: %v", seen)
+		}
+	}
+}
+
+// TestForEachProgressSkipsFailures: failed items do not advance progress —
+// done counts completed work, which is what a resumable job checkpoints.
+func TestForEachProgressSkipsFailures(t *testing.T) {
+	boom := errors.New("boom")
+	var seen []int
+	err := ForEachProgressContext(context.Background(), 6, 1, func(i int) error {
+		if i%2 == 1 {
+			return boom
+		}
+		return nil
+	}, func(done int) { seen = append(seen, done) })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(seen) != 3 {
+		t.Errorf("progress fired %d times, want 3 (failures must not count): %v", len(seen), seen)
+	}
+}
+
+// TestForEachProgressParallel: with a real pool the done values are a
+// permutation of 1..n — each fires exactly once even under contention.
+func TestForEachProgressParallel(t *testing.T) {
+	const n = 64
+	var mu sync.Mutex
+	var seen []int
+	err := ForEachProgressContext(context.Background(), n, 8, func(i int) error {
+		return nil
+	}, func(done int) {
+		mu.Lock()
+		seen = append(seen, done)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("progress fired %d times, want %d", len(seen), n)
+	}
+	sort.Ints(seen)
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("done values are not a permutation of 1..%d: %v", n, seen)
+		}
+	}
+}
+
+// TestForEachProgressNilIsForEach: the nil-progress path must behave
+// exactly like ForEachContext (it is ForEachContext).
+func TestForEachProgressNilIsForEach(t *testing.T) {
+	calls := 0
+	if err := ForEachProgressContext(context.Background(), 3, 1, func(i int) error {
+		calls++
+		return nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("fn called %d times, want 3", calls)
+	}
+}

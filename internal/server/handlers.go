@@ -30,8 +30,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleMetrics renders the Prometheus text exposition.
+// handleMetrics renders the Prometheus text exposition, refreshing the
+// scrape-time store gauges first.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshStoreMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.reg.WritePrometheus(w)
 }

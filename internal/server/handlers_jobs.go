@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"coldtall/internal/job"
+)
+
+// jobListResponse enumerates the job table.
+type jobListResponse struct {
+	Jobs []job.Status `json:"jobs"`
+}
+
+// handleJobSubmit accepts a job spec and answers 202 with the (possibly
+// pre-existing — submission is idempotent) job's status. Long-running work
+// belongs here instead of holding a synchronous request open: the client
+// polls GET /v1/jobs/{id} and fetches /v1/jobs/{id}/result when done.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec job.Spec
+	if !s.decode(w, r, &spec) {
+		return
+	}
+	status, err := s.jobs.Submit(spec)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+status.ID)
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(status)
+}
+
+// handleJobList enumerates every known job, ordered by ID.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	resp := jobListResponse{Jobs: s.jobs.List()}
+	if resp.Jobs == nil {
+		resp.Jobs = []job.Status{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// jobByID resolves the path ID or answers 404.
+func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) (job.Status, bool) {
+	id := r.PathValue("id")
+	status, ok := s.jobs.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown job %q", id), http.StatusNotFound)
+		return job.Status{}, false
+	}
+	return status, true
+}
+
+// handleJobStatus reports one job's state and progress.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	status, ok := s.jobByID(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(status)
+}
+
+// handleJobResult serves a done job's payload under its stored content
+// type (sweep JSON, artifact CSV — the latter byte-identical to the
+// synchronous /v1/artifacts/{name}?format=csv response). A job that is
+// still running answers 409 with its state so pollers can tell "not yet"
+// from "never".
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	status, ok := s.jobByID(w, r)
+	if !ok {
+		return
+	}
+	body, ctype, ok := s.jobs.Result(status.ID)
+	if !ok {
+		http.Error(w, fmt.Sprintf("job %s has no result (state %s)", status.ID, status.State), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	_, _ = w.Write(body)
+}
+
+// handleJobCancel requests cancellation and answers with the job's status
+// (cancellation is asynchronous: the state flips once the in-flight cell
+// observes its context).
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	status, ok := s.jobByID(w, r)
+	if !ok {
+		return
+	}
+	s.jobs.Cancel(status.ID)
+	status, _ = s.jobs.Get(status.ID)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(status)
+}

@@ -3,10 +3,17 @@ package server
 import (
 	"context"
 	"errors"
+	"math/rand/v2"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
+
+// retryAfter picks a jittered Retry-After of 1–3 seconds: a fixed value
+// would re-synchronize every shed client onto the same second, turning one
+// saturation spike into a recurring thundering herd.
+func retryAfter() string { return strconv.Itoa(1 + rand.IntN(3)) }
 
 // statusWriter captures the response code and byte count for logging and
 // metrics.
@@ -130,7 +137,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, contentType
 	case err == nil:
 	case errors.Is(err, errSaturated):
 		s.met.shed.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfter())
 		http.Error(w, "sweep pool saturated, retry later", http.StatusTooManyRequests)
 		return
 	case errors.Is(err, context.DeadlineExceeded):

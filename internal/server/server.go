@@ -12,6 +12,11 @@
 //	POST /v1/evaluate            application-level metrics under one benchmark
 //	POST /v1/sweep               points x benchmarks evaluation grid
 //	POST /v1/pareto              Pareto-optimal internal organizations
+//	POST /v1/jobs                submit an async sweep/artifact job (202 + ID)
+//	GET  /v1/jobs                job table (ordered by ID)
+//	GET  /v1/jobs/{id}           job state + progress
+//	GET  /v1/jobs/{id}/result    finished job payload (sweep JSON / artifact CSV)
+//	DELETE /v1/jobs/{id}         cancel a running job
 //	GET  /v1/artifacts           artifact catalog: names, titles, typed schemas
 //	GET  /v1/artifacts/{name}    any registry artifact (JSON, or CSV via
 //	                             ?format=csv / Accept: text/csv)
@@ -39,7 +44,10 @@ import (
 
 	"coldtall"
 	"coldtall/internal/cache"
+	"coldtall/internal/explorer"
+	"coldtall/internal/job"
 	"coldtall/internal/metrics"
+	"coldtall/internal/store"
 )
 
 // Config tunes the service. The zero value of every field selects a
@@ -62,6 +70,13 @@ type Config struct {
 	MaxBodyBytes int64
 	// DrainTimeout bounds the graceful drain on shutdown (30s default).
 	DrainTimeout time.Duration
+	// StoreDir, when set, roots the persistent result store: response
+	// bodies and characterizations survive restarts, the response LRU is
+	// warm-seeded on boot, and async jobs checkpoint through it. Empty
+	// keeps the server memory-only.
+	StoreDir string
+	// JobWorkers bounds each async job's worker pool (0 = one per CPU).
+	JobWorkers int
 	// Logger receives structured access log lines and server lifecycle
 	// messages (stderr by default).
 	Logger *log.Logger
@@ -103,11 +118,15 @@ type serverMetrics struct {
 	inflight       *metrics.Gauge
 	sweepsInflight *metrics.Gauge
 	// cacheHits/cacheMisses count response-cache lookups; shed counts
-	// 429s; panics counts recovered handler crashes.
+	// 429s; panics counts recovered handler crashes; evictions counts
+	// cache entries displaced under capacity pressure.
 	cacheHits   *metrics.Counter
 	cacheMisses *metrics.Counter
 	shed        *metrics.Counter
 	panics      *metrics.Counter
+	evictions   *metrics.Counter
+	// jobsRunning tracks async jobs currently executing.
+	jobsRunning *metrics.Gauge
 }
 
 func newServerMetrics() *serverMetrics {
@@ -121,7 +140,31 @@ func newServerMetrics() *serverMetrics {
 		cacheMisses:    reg.Counter("coldtall_cache_misses_total", "Response cache misses."),
 		shed:           reg.Counter("coldtall_shed_total", "Requests shed with 429 under saturation."),
 		panics:         reg.Counter("coldtall_panics_total", "Handler panics recovered to 500s."),
+		evictions:      reg.Counter("coldtall_cache_evictions_total", "Response cache entries evicted under capacity pressure."),
+		jobsRunning:    reg.Gauge("coldtall_jobs_running", "Async jobs currently executing."),
 	}
+}
+
+// jobStates returns the lazily created per-terminal-state job counter.
+func (m *serverMetrics) jobStates(state job.State) *metrics.Counter {
+	name := fmt.Sprintf("coldtall_jobs_total{state=%q}", string(state))
+	return m.reg.Counter(name, "Async job state transitions by resulting state.")
+}
+
+// refreshStoreMetrics projects the store's cumulative stats onto gauges at
+// scrape time (the store owns the counters; the registry only mirrors
+// them).
+func (s *Server) refreshStoreMetrics() {
+	if s.st == nil {
+		return
+	}
+	st := s.st.Stats()
+	s.met.reg.Gauge("coldtall_store_entries", "Live entries in the persistent result store.").Set(int64(st.Entries))
+	s.met.reg.Gauge("coldtall_store_hits", "Cumulative persistent-store hits.").Set(st.Hits)
+	s.met.reg.Gauge("coldtall_store_misses", "Cumulative persistent-store misses.").Set(st.Misses)
+	s.met.reg.Gauge("coldtall_store_puts", "Cumulative persistent-store writes.").Set(st.Puts)
+	s.met.reg.Gauge("coldtall_store_corrupt", "Entries quarantined as corrupt.").Set(st.Corrupt)
+	s.met.reg.Gauge("coldtall_cache_tier_hits", "Response-cache lookups served from the persistence tier.").Set(s.respCache.Stats().TierHits)
 }
 
 // requests returns the lazily created per-path+code counter.
@@ -136,6 +179,8 @@ type Server struct {
 	cfg       Config
 	study     *coldtall.Study
 	respCache *cache.Cache[[]byte]
+	st        *store.Store
+	jobs      *job.Manager
 	met       *serverMetrics
 	admission chan struct{}
 	handler   http.Handler
@@ -145,6 +190,12 @@ type Server struct {
 // New builds a server around an existing study. The study's explorer (and
 // so its characterization cache) is shared across all requests; the
 // response cache sits in front of it keyed on canonicalized requests.
+//
+// With cfg.StoreDir set, the server gains memory across restarts: the
+// response cache is backed by (and warm-seeded from) the persistent store,
+// characterizations persist through the explorer's store hook, and jobs
+// interrupted by the previous process are recovered to complete from their
+// checkpoints.
 func New(study *coldtall.Study, cfg Config) (*Server, error) {
 	if study == nil {
 		return nil, fmt.Errorf("server: study must not be nil")
@@ -164,6 +215,45 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 		met:       newServerMetrics(),
 		admission: make(chan struct{}, cfg.MaxInflight),
 	}
+	s.respCache.SetOnEvict(func(n int) { s.met.evictions.Add(int64(n)) })
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, store.Options{Version: explorer.ModelVersion})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.st = st
+		s.respCache.SetTier(respTier{st})
+		study.Explorer().SetPersistence(charStore{st})
+		if n := warmCache(st, s.respCache); n > 0 {
+			cfg.Logger.Printf("store: warm-seeded %d response entries from %s", n, st.Dir())
+		}
+	}
+	s.jobs, err = job.NewManager(study, job.Options{
+		Store:   s.st,
+		Workers: cfg.JobWorkers,
+		Logger:  cfg.Logger,
+		OnTransition: func(id string, from, to job.State) {
+			if to == job.StateRunning {
+				s.met.jobsRunning.Inc()
+			}
+			if from == job.StateRunning && to.Terminal() {
+				s.met.jobsRunning.Dec()
+			}
+			if to.Terminal() {
+				s.met.jobStates(to).Inc()
+			}
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if s.st != nil {
+		if n, err := s.jobs.Recover(); err != nil {
+			cfg.Logger.Printf("job recovery: %v", err)
+		} else if n > 0 {
+			cfg.Logger.Printf("job recovery: resumed %d interrupted jobs", n)
+		}
+	}
 	s.handler = s.buildHandler()
 	return s, nil
 }
@@ -177,6 +267,11 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/pareto", s.handlePareto)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/artifacts", s.handleArtifactList)
 	mux.HandleFunc("GET /v1/artifacts/{name}", s.handleArtifactByName)
 	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
@@ -201,6 +296,13 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Metrics exposes the registry (tests assert on series; embedders may add
 // their own).
 func (s *Server) Metrics() *metrics.Registry { return s.met.reg }
+
+// Jobs exposes the async job manager (the CLI's jobs subcommands and the
+// tests drive it; embedders without HTTP can submit directly).
+func (s *Server) Jobs() *job.Manager { return s.jobs }
+
+// Store exposes the persistent result store (nil when StoreDir is unset).
+func (s *Server) Store() *store.Store { return s.st }
 
 // CacheStats reports response-cache effectiveness.
 func (s *Server) CacheStats() cache.Stats { return s.respCache.Stats() }
@@ -228,11 +330,24 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		srv.Close()
 		<-errc
+		s.stopJobs(drainCtx)
 		return fmt.Errorf("server: drain: %w", err)
 	}
 	<-errc // http.ErrServerClosed from the Serve goroutine
+	s.stopJobs(drainCtx)
 	s.cfg.Logger.Printf("drained cleanly")
 	return nil
+}
+
+// stopJobs finishes the drain's second phase: running jobs get the rest of
+// the drain budget to complete; stragglers are cancelled, which is safe —
+// every completed cell is already checkpointed, so the next boot's Recover
+// resumes them with only the unfinished work left.
+func (s *Server) stopJobs(ctx context.Context) {
+	if err := s.jobs.Wait(ctx); err != nil {
+		s.cfg.Logger.Printf("drain: cancelling jobs still running at timeout (checkpoints preserved)")
+	}
+	s.jobs.Close()
 }
 
 // ListenAndServe binds cfg.Addr and serves until ctx is done (see Serve).

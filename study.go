@@ -44,6 +44,19 @@ func NewStudyWithCooling(c cryo.Cooling) (*Study, error) {
 	return &Study{exp: e}, nil
 }
 
+// withCooling returns a study under a different cooling environment that
+// shares the receiver's characterization cache (and persistence, when
+// attached). Characterization is cooling-independent, so cooler-class
+// sub-studies built this way reuse every optimization the parent already
+// paid for instead of rebuilding a private cache per class.
+func (s *Study) withCooling(c cryo.Cooling) (*Study, error) {
+	e, err := s.exp.WithCoolingShared(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{exp: e, parallelism: s.parallelism, ctx: s.ctx}, nil
+}
+
 // Explorer exposes the underlying engine for custom sweeps.
 func (s *Study) Explorer() *explorer.Explorer { return s.exp }
 

@@ -331,6 +331,21 @@ func TestCoolingSweepShape(t *testing.T) {
 	}
 }
 
+// TestCoolingSweepSharesCharacterizations pins the cache-bypass fix: the
+// sweep touches two unique design points (the 350 K SRAM baseline and 77 K
+// 3T-eDRAM) across four cooler classes, and the per-class sub-studies share
+// the parent's characterization cache, so the optimizer runs exactly twice
+// — not twice per class.
+func TestCoolingSweepSharesCharacterizations(t *testing.T) {
+	s := NewStudy()
+	if _, err := s.CoolingSweep(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Explorer().OptimizeCalls(); got != 2 {
+		t.Errorf("cooling sweep ran Optimize %d times, want 2 (characterizations shared across cooler classes)", got)
+	}
+}
+
 func TestNewStudyWithCoolingValidates(t *testing.T) {
 	if _, err := NewStudyWithCooling(cryo.Cooling{Class: cryo.Cooler1kW, ThresholdK: -1}); err == nil {
 		t.Error("invalid cooling should be rejected")

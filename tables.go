@@ -121,17 +121,18 @@ type CoolingRow struct {
 func (s *Study) CoolingSweep() ([]CoolingRow, error) {
 	benches := []string{"povray", "xalancbmk", "lbm"}
 	classes := cryo.Classes()
-	// One sub-study per cooler class; each inherits the parallelism knob
-	// and is touched by exactly one worker, so the per-class caches are
-	// built without cross-class contention.
+	// One sub-study per cooler class, all sharing the parent's
+	// characterization cache: the two design points here (the baseline and
+	// 77 K 3T-eDRAM) are cooling-independent, so they optimize once across
+	// the whole sweep instead of once per cooler class. Before the shared
+	// cache, this sweep rebuilt both characterizations per class — the
+	// "~1x" cache-speedup outlier in EXPERIMENTS.md.
 	nested, err := parallel.MapContext(s.context(), len(classes), s.parallelism, func(i int) ([]CoolingRow, error) {
 		cls := classes[i]
-		study, err := NewStudyWithCooling(cryo.Cooling{Class: cls, ThresholdK: 200})
+		study, err := s.withCooling(cryo.Cooling{Class: cls, ThresholdK: 200})
 		if err != nil {
 			return nil, err
 		}
-		study.SetParallelism(s.parallelism)
-		study = study.WithContext(s.context())
 		rows := make([]CoolingRow, 0, len(benches))
 		for _, bench := range benches {
 			tr, err := trafficFor(bench)
