@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck vulncheck bench golden-update
+.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tracecheck fuzz vulncheck bench golden-update
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,21 @@ smoke:
 # GET /v1/artifacts must enumerate the registry identically.
 artifactcheck:
 	./scripts/artifactcheck.sh
+
+# Trace-toolchain drift check through the built binaries: tracegen's text
+# and binary outputs must simulate identically, llcsim -dump must emit the
+# canonical .ctrace encoding, and sharded replay must match serial byte
+# for byte.
+tracecheck:
+	./scripts/tracecheck.sh
+
+# Fuzz smoke: a bounded run of each trace-facing fuzz target (the codec
+# round-trip, the text parser, and the llcsim replay loop). The corpora
+# seeds cover the parser-hardening cases; CI runs this on every push.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzBinaryDecode -fuzztime 30s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzTextRoundTrip -fuzztime 30s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzReplay -fuzztime 30s ./cmd/llcsim/
 
 # Known-vulnerability scan. Skipped (with a pointer) when govulncheck is
 # not on PATH; the CI job installs it.

@@ -42,6 +42,13 @@
 //	coldtall jobs wait <id> > out.csv
 //	coldtall jobs cancel <id>
 //
+// Custom workloads (against a running serve instance):
+//
+//	coldtall workloads list             # catalog: 23 SPEC entries + ingested
+//	coldtall workloads add spec.json    # ingest a generator spec or .ctrace
+//	coldtall workloads add -            # ... or read the spec from stdin
+//	coldtall workloads traffic <name>   # derived LLC reads/s and writes/s
+//
 // Flags:
 //
 //	-cooler 100kW|1kW|100W|10W   cryocooler class (default 100kW)
@@ -52,7 +59,7 @@
 //	                             entries, per-request compute deadline
 //	-store-dir, -job-workers     serve: result-store directory (enables
 //	                             checkpointed jobs + warm restarts), job pool
-//	-server, -poll               jobs: serve base URL, wait poll interval
+//	-server, -poll               jobs/workloads: serve base URL, poll interval
 //
 // SIGINT/SIGTERM cancel in-flight sweeps; serve drains gracefully.
 package main
@@ -113,7 +120,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, artifacts, eval, export, sweep, pareto, serve, jobs, all)")
+		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, artifacts, eval, export, sweep, pareto, serve, jobs, workloads, all)")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -245,6 +252,8 @@ func dispatch(ctx context.Context, cmd string, study *coldtall.Study, w io.Write
 		return serveHTTP(ctx, study, w, f)
 	case "jobs":
 		return runJobs(ctx, w, f)
+	case "workloads":
+		return runWorkloads(ctx, w, f)
 	default:
 		// Any registry artifact is a subcommand: `coldtall fig5`,
 		// `coldtall table2`, `coldtall cooling`, ...

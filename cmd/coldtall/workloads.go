@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"coldtall/internal/job"
+	"coldtall/internal/workload"
+)
+
+// runWorkloads implements the workload-ingestion client family against a
+// running serve instance:
+//
+//	coldtall workloads [-server URL] list
+//	coldtall workloads [-server URL] add <spec.json|->   # POST + wait, print the record
+//	coldtall workloads [-server URL] traffic <name>
+//
+// add accepts an ingestion spec (a generator description or a base64
+// .ctrace payload — see internal/ingest) from a file or stdin, submits it,
+// polls the ingest job to completion, and prints the registered source
+// record.
+func runWorkloads(ctx context.Context, w io.Writer, f cliFlags) error {
+	c := workloadsClient{jobsClient{base: strings.TrimRight(f.server, "/")}}
+	verb := f.args.arg(0)
+	switch verb {
+	case "", "list":
+		return c.list(ctx, w)
+	case "add":
+		return c.add(ctx, w, f.args.arg(1), f.poll)
+	case "traffic":
+		return c.traffic(ctx, w, f.args.arg(1))
+	}
+	return fmt.Errorf("unknown workloads verb %q (want list, add, traffic)", verb)
+}
+
+// workloadsClient speaks the /v1/workloads API, reusing the jobs client
+// for the async-submission leg.
+type workloadsClient struct {
+	jobsClient
+}
+
+// getJSON issues one GET and decodes the JSON answer into out; non-2xx
+// responses surface the server's error text.
+func (c workloadsClient) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(payload)))
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("GET %s: decoding: %w", path, err)
+	}
+	return nil
+}
+
+// list prints one line per catalog entry: the 23 static SPEC benchmarks,
+// then any ingested workloads.
+func (c workloadsClient) list(ctx context.Context, w io.Writer) error {
+	var table struct {
+		Workloads []workload.Source `json:"workloads"`
+	}
+	if err := c.getJSON(ctx, "/v1/workloads", &table); err != nil {
+		return err
+	}
+	for _, s := range table.Workloads {
+		printSource(w, s)
+	}
+	return nil
+}
+
+// add submits the ingestion spec, waits for its job, and prints the
+// registered record.
+func (c workloadsClient) add(ctx context.Context, w io.Writer, arg string, poll time.Duration) error {
+	if arg == "" {
+		return fmt.Errorf("workloads add: a spec file or - (stdin) is required")
+	}
+	var spec []byte
+	var err error
+	if arg == "-" {
+		if spec, err = io.ReadAll(os.Stdin); err != nil {
+			return fmt.Errorf("workloads add: reading stdin: %w", err)
+		}
+	} else if spec, err = os.ReadFile(arg); err != nil {
+		return fmt.Errorf("workloads add: %w", err)
+	}
+	st, err := c.do(ctx, http.MethodPost, "/v1/workloads", spec)
+	if err != nil {
+		return err
+	}
+	for !st.State.Terminal() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+		if st, err = c.do(ctx, http.MethodGet, "/v1/jobs/"+st.ID, nil); err != nil {
+			return err
+		}
+	}
+	switch st.State {
+	case job.StateDone:
+		var src workload.Source
+		if err := c.getJSON(ctx, "/v1/workloads/"+st.Workload, &src); err != nil {
+			return err
+		}
+		printSource(w, src)
+		return nil
+	case job.StateFailed:
+		return fmt.Errorf("ingest job %s failed: %s", st.ID, st.Error)
+	default:
+		return fmt.Errorf("ingest job %s was cancelled", st.ID)
+	}
+}
+
+// traffic prints one workload's derived continuous-operation LLC rates —
+// the numbers the traffic-dependent artifacts plot it by.
+func (c workloadsClient) traffic(ctx context.Context, w io.Writer, name string) error {
+	if name == "" {
+		return fmt.Errorf("workloads traffic: a workload name is required (see `coldtall workloads list`)")
+	}
+	var src workload.Source
+	if err := c.getJSON(ctx, "/v1/workloads/"+name, &src); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "workload  = %s (%s)\n", src.Name, src.Kind)
+	if src.Description != "" {
+		fmt.Fprintf(w, "about     = %s\n", src.Description)
+	}
+	fmt.Fprintf(w, "reads/s   = %.3g\n", src.Traffic.ReadsPerSec)
+	fmt.Fprintf(w, "writes/s  = %.3g\n", src.Traffic.WritesPerSec)
+	if src.Accesses > 0 {
+		fmt.Fprintf(w, "accesses  = %d\n", src.Accesses)
+	}
+	if src.TraceSHA256 != "" {
+		fmt.Fprintf(w, "trace     = sha256:%s\n", src.TraceSHA256)
+	}
+	return nil
+}
+
+// printSource renders one catalog entry as a single parseable line: name
+// first, then kind and the derived traffic rates.
+func printSource(w io.Writer, s workload.Source) {
+	line := fmt.Sprintf("%-16s %-8s reads/s %.3g  writes/s %.3g", s.Name, s.Kind, s.Traffic.ReadsPerSec, s.Traffic.WritesPerSec)
+	if s.Kind != workload.SourceStatic && s.Accesses > 0 {
+		line += fmt.Sprintf("  (%d accesses)", s.Accesses)
+	}
+	fmt.Fprintln(w, line)
+}

@@ -1,0 +1,99 @@
+package main
+
+// CLI tests for the workloads subcommand family, run against a real server
+// mounted on an httptest listener.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coldtall/internal/workload"
+)
+
+const ingestSpecJSON = `{
+  "name": "cli1",
+  "description": "cli upload",
+  "generator": {"pattern": "stream", "working_set_bytes": 67108864, "write_frac": 0.25, "accesses": 40000, "seed": 7}
+}`
+
+func TestWorkloadsAddListTraffic(t *testing.T) {
+	url := startJobServer(t)
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(spec, []byte(ingestSpecJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// add submits the spec, waits for the ingest job, and prints the record.
+	var add strings.Builder
+	if err := run(bg, []string{"workloads", "-server", url, "-poll", "10ms", "add", spec}, &add); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(add.String(), "cli1") || !strings.Contains(add.String(), "profile") {
+		t.Errorf("add output %q missing the registered record", add.String())
+	}
+
+	// list shows the 23 static entries plus the upload.
+	var list strings.Builder
+	if err := run(bg, []string{"workloads", "-server", url, "list"}, &list); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(list.String()), "\n") + 1
+	if want := len(workload.StaticTraffic()) + 1; lines != want {
+		t.Errorf("list printed %d lines, want %d", lines, want)
+	}
+	if !strings.Contains(list.String(), "cli1") {
+		t.Errorf("list output missing the ingested workload:\n%s", list.String())
+	}
+
+	// traffic prints the derived rates for both ingested and static names.
+	var tr strings.Builder
+	if err := run(bg, []string{"workloads", "-server", url, "traffic", "cli1"}, &tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"reads/s", "writes/s", "accesses  = 40000", "sha256:"} {
+		if !strings.Contains(tr.String(), want) {
+			t.Errorf("traffic output missing %q:\n%s", want, tr.String())
+		}
+	}
+	tr.Reset()
+	if err := run(bg, []string{"workloads", "-server", url, "traffic", "mcf"}, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.String(), "static") {
+		t.Errorf("static traffic output = %q", tr.String())
+	}
+}
+
+func TestWorkloadsErrors(t *testing.T) {
+	url := startJobServer(t)
+
+	// add demands a spec argument; traffic demands a name.
+	var b strings.Builder
+	if err := run(bg, []string{"workloads", "-server", url, "add"}, &b); err == nil || !strings.Contains(err.Error(), "spec file") {
+		t.Errorf("add without a spec: err = %v", err)
+	}
+	if err := run(bg, []string{"workloads", "-server", url, "traffic"}, &b); err == nil || !strings.Contains(err.Error(), "name is required") {
+		t.Errorf("traffic without a name: err = %v", err)
+	}
+
+	// unknown verb names itself
+	if err := run(bg, []string{"workloads", "-server", url, "frobnicate"}, &b); err == nil || !strings.Contains(err.Error(), "frobnicate") {
+		t.Errorf("unknown verb: err = %v", err)
+	}
+
+	// unknown workload surfaces the server's 404
+	if err := run(bg, []string{"workloads", "-server", url, "traffic", "ghost"}, &b); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown workload: err = %v", err)
+	}
+
+	// a reserved static name is rejected at submit (server 400)
+	spec := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(spec, []byte(`{"name":"mcf","generator":{"pattern":"stream","working_set_bytes":1048576,"accesses":5000}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bg, []string{"workloads", "-server", url, "add", spec}, &b); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("reserved name: err = %v", err)
+	}
+}

@@ -16,6 +16,10 @@ func FuzzReplay(f *testing.F) {
 	f.Add("R zz\n")
 	f.Add("R 0x1 tail\n")
 	f.Add(strings.Repeat("W 0xffffffffffff0\n", 3))
+	f.Add("R 0X1000\r\nW 0X2000\r\n")               // 0X prefix + CRLF
+	f.Add("R 0x" + strings.Repeat("f", 16) + "\n")  // max-width address
+	f.Add("R 0x1" + strings.Repeat("0", 16) + "\n") // 17 digits: rejected
+	f.Add("# comment\r\n\r\nw ffffffffffffffff\n")  // bare max hex
 	f.Fuzz(func(t *testing.T, input string) {
 		h, err := sim.NewHierarchy(sim.TableIConfig())
 		if err != nil {

@@ -1,21 +1,23 @@
-// Command llcsim replays a memory-access trace (tracegen's format: one
-// "R 0x<addr>" or "W 0x<addr>" per line on stdin, or a file) through the
-// Table I cache hierarchy and reports per-level statistics plus the
-// extrapolated continuous-operation LLC traffic the paper plots benchmarks
-// by.
+// Command llcsim replays a memory-access trace through the Table I cache
+// hierarchy and reports per-level statistics plus the extrapolated
+// continuous-operation LLC traffic the paper plots benchmarks by. The
+// input format is autodetected: tracegen's text format (one "R 0x<addr>"
+// or "W 0x<addr>" per line) or the compact .ctrace binary format, on
+// stdin or from a file.
 //
 //	tracegen -bench mcf -n 500000 | llcsim -bench mcf
-//	llcsim -trace mcf.trace -copies 8
+//	tracegen -bench mcf -n 500000 -format binary | llcsim -bench mcf
+//	llcsim -trace mcf.ctrace -copies 8 -shards 16
+//	llcsim -trace mcf.trace -dump mcf.ctrace   # convert while simulating
 package main
 
 import (
-	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"coldtall/internal/report"
 	"coldtall/internal/sim"
@@ -32,9 +34,12 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("llcsim", flag.ContinueOnError)
-	tracePath := fs.String("trace", "-", "trace file path, or - for stdin")
+	tracePath := fs.String("trace", "-", "trace file path (text or .ctrace, autodetected), or - for stdin")
 	copies := fs.Int("copies", 8, "SPECrate copies sharing the LLC")
 	bench := fs.String("bench", "", "benchmark profile for time extrapolation (IPC, memory intensity); empty reports counts only")
+	shards := fs.Int("shards", 1, "set-bank shards replayed in parallel (power of two; 1 = serial)")
+	workers := fs.Int("workers", 0, "worker goroutines for sharded replay (0 = one per CPU)")
+	dump := fs.String("dump", "", "also write the trace in canonical .ctrace binary form to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,76 +56,85 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	cfg := sim.TableIConfig()
 	cfg.SharedCopies = *copies
-	h, err := sim.NewHierarchy(cfg)
+	eng, err := sim.NewSharded(cfg, *shards, *workers)
 	if err != nil {
 		return err
 	}
 
-	n, err := replay(h, r)
+	reader := trace.NewReader(r)
+	if *dump != "" {
+		// Conversion mode buffers the stream so the canonical encoding and
+		// the simulation read the same accesses exactly once from the input.
+		accesses, err := trace.ReadAll(reader)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*dump, trace.EncodeBinary(accesses), 0o644); err != nil {
+			return err
+		}
+		if err := eng.Replay(context.Background(), accesses); err != nil {
+			return err
+		}
+		return render(stdout, eng, uint64(len(accesses)), *copies, *bench)
+	}
+	n, err := eng.ReplayReader(context.Background(), reader, 0, nil)
 	if err != nil {
 		return err
 	}
+	return render(stdout, eng, n, *copies, *bench)
+}
 
+// render prints the per-level table and, with -bench, the extrapolated
+// traffic rates.
+func render(stdout io.Writer, eng *sim.Sharded, n uint64, copies int, bench string) error {
+	stats := eng.Snapshot()
 	t := report.NewTable(fmt.Sprintf("llcsim: %d accesses through the Table I hierarchy", n),
 		"level", "reads", "writes", "read miss", "write miss", "writebacks", "miss rate")
-	for i := 0; i < h.Levels(); i++ {
-		s := h.LevelStats(i)
-		t.AddRow(h.LevelName(i),
+	for i, s := range stats.Levels {
+		t.AddRow(stats.Names[i],
 			fmt.Sprintf("%d", s.Reads), fmt.Sprintf("%d", s.Writes),
 			fmt.Sprintf("%d", s.ReadMisses), fmt.Sprintf("%d", s.WriteMisses),
 			fmt.Sprintf("%d", s.Writebacks), fmt.Sprintf("%.4f", s.MissRate()))
 	}
-	memR, memW := h.MemoryTraffic()
-	t.AddRow("memory", fmt.Sprintf("%d", memR), fmt.Sprintf("%d", memW), "-", "-", "-", "-")
+	t.AddRow("memory", fmt.Sprintf("%d", stats.MemReads), fmt.Sprintf("%d", stats.MemWrites), "-", "-", "-", "-")
 	if err := t.Render(stdout); err != nil {
 		return err
 	}
 
-	if *bench == "" {
+	if bench == "" {
 		return nil
 	}
-	p, err := workload.ProfileByName(*bench)
+	p, err := workload.ProfileByName(bench)
 	if err != nil {
 		return err
 	}
-	llc := h.LLCStats()
-	instructions := float64(n) * 1000 / p.MemOpsPerKiloInstr
-	seconds := instructions / p.IPC / workload.FrequencyHz
+	llc := stats.LLC()
+	// The shared calibration formula assumes the paper's 8-core client CPU;
+	// -copies rescales its per-chip rates.
+	tr := workload.Extrapolate(p.Name, llc.Reads, llc.Writes, n, p.MemOpsPerKiloInstr, p.IPC)
+	scale := float64(copies) / workload.Cores
 	fmt.Fprintf(stdout, "\nextrapolated continuous-operation LLC traffic (%d copies at %.0f GHz, %s-class core):\n",
-		*copies, workload.FrequencyHz/1e9, p.Name)
-	fmt.Fprintf(stdout, "  reads/s  = %.3g\n", float64(llc.Reads)/seconds*float64(*copies))
-	fmt.Fprintf(stdout, "  writes/s = %.3g\n", float64(llc.Writes)/seconds*float64(*copies))
+		copies, workload.FrequencyHz/1e9, p.Name)
+	fmt.Fprintf(stdout, "  reads/s  = %.3g\n", tr.ReadsPerSec*scale)
+	fmt.Fprintf(stdout, "  writes/s = %.3g\n", tr.WritesPerSec*scale)
 	return nil
 }
 
-// replay feeds the hierarchy from the textual trace format.
+// replay feeds a hierarchy from the textual trace format — the serial
+// reference path the tests and the fuzz harness drive directly; run() goes
+// through the sharded engine with format autodetection instead.
 func replay(h *sim.Hierarchy, r io.Reader) (int, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	tr := trace.NewTextReader(r)
 	n := 0
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	for {
+		a, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			return n, fmt.Errorf("line %d: want \"R|W 0xADDR\", got %q", n+1, line)
-		}
-		var write bool
-		switch fields[0] {
-		case "R", "r":
-		case "W", "w":
-			write = true
-		default:
-			return n, fmt.Errorf("line %d: unknown access kind %q", n+1, fields[0])
-		}
-		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
 		if err != nil {
-			return n, fmt.Errorf("line %d: bad address %q: %w", n+1, fields[1], err)
+			return n, err
 		}
-		h.Access(trace.Access{Addr: addr, Write: write})
+		h.Access(a)
 		n++
 	}
-	return n, sc.Err()
 }

@@ -1,10 +1,13 @@
 // Command tracegen emits a synthetic memory-access trace for one of the 23
-// SPECrate 2017 benchmark stand-ins (or a raw generator) as text, one
-// access per line: "R 0x<addr>" or "W 0x<addr>". The output feeds llcsim or
-// any external cache simulator.
+// SPECrate 2017 benchmark stand-ins (or a raw generator), either as text —
+// one "R 0x<addr>" or "W 0x<addr>" per line — or as the compact .ctrace
+// binary format (-format binary). The output feeds llcsim (which
+// autodetects either format), POST /v1/workloads, or any external cache
+// simulator.
 //
 //	tracegen -bench mcf -n 100000 -seed 42
 //	tracegen -pattern stream -ws 64MiB -writefrac 0.3 -n 1000
+//	tracegen -bench mcf -n 1000000 -format binary > mcf.ctrace
 package main
 
 import (
@@ -36,6 +39,7 @@ func run(args []string, out io.Writer) error {
 	skew := fs.Float64("skew", 1.4, "raw mode: zipf skew (>1)")
 	n := fs.Int("n", 100000, "number of accesses to emit")
 	seed := fs.Int64("seed", 1, "PRNG seed")
+	format := fs.String("format", "text", "output format: text or binary (.ctrace)")
 	list := fs.Bool("list", false, "list available benchmark profiles and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,19 +82,29 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	w := bufio.NewWriter(out)
-	defer w.Flush()
-	for i := 0; i < *n; i++ {
-		a := gen.Next()
-		kind := byte('R')
-		if a.Write {
-			kind = 'W'
+	switch *format {
+	case "text":
+		w := bufio.NewWriter(out)
+		defer w.Flush()
+		var line []byte
+		for i := 0; i < *n; i++ {
+			line = trace.AppendText(line[:0], gen.Next())
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
 		}
-		if _, err := fmt.Fprintf(w, "%c 0x%x\n", kind, a.Addr); err != nil {
-			return err
+		return nil
+	case "binary":
+		w := trace.NewBinaryWriter(out)
+		for i := 0; i < *n; i++ {
+			if err := w.Write(gen.Next()); err != nil {
+				return err
+			}
 		}
+		return w.Close()
+	default:
+		return fmt.Errorf("unknown format %q (want text or binary)", *format)
 	}
-	return nil
 }
 
 // parseSize accepts "4096", "512KiB", "64MiB", "2GiB".

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"strings"
 	"testing"
+
+	"coldtall/internal/trace"
 )
 
 func TestParseSize(t *testing.T) {
@@ -78,5 +81,43 @@ func TestRunEmitsParsableLines(t *testing.T) {
 		if len(fields) != 2 || (fields[0] != "R" && fields[0] != "W") || !strings.HasPrefix(fields[1], "0x") {
 			t.Fatalf("malformed line %q", line)
 		}
+	}
+}
+
+// TestBinaryFormatMatchesText: -format binary emits the canonical .ctrace
+// encoding of exactly the accesses the text mode prints.
+func TestBinaryFormatMatchesText(t *testing.T) {
+	var text, binary bytes.Buffer
+	if err := run([]string{"-bench", "mcf", "-n", "2000", "-seed", "3"}, &text); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", "mcf", "-n", "2000", "-seed", "3", "-format", "binary"}, &binary); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := trace.ReadAll(trace.NewReader(bytes.NewReader(text.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBinary, err := trace.ReadAll(trace.NewReader(bytes.NewReader(binary.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromText) != 2000 || len(fromText) != len(fromBinary) {
+		t.Fatalf("decoded %d text / %d binary accesses", len(fromText), len(fromBinary))
+	}
+	for i := range fromText {
+		if fromText[i] != fromBinary[i] {
+			t.Fatalf("access %d differs: %+v vs %+v", i, fromText[i], fromBinary[i])
+		}
+	}
+	if !bytes.Equal(binary.Bytes(), trace.EncodeBinary(fromText)) {
+		t.Error("-format binary output is not the canonical encoding")
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "10", "-format", "xml"}, &out); err == nil {
+		t.Error("unknown format accepted")
 	}
 }

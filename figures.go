@@ -29,7 +29,7 @@ func (s *Study) Fig1() ([]Fig1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := trafficFor(explorer.ReferenceBenchmark)
+	tr, err := s.trafficFor(explorer.ReferenceBenchmark)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +118,7 @@ func (s *Study) Fig4() ([]Fig4Row, error) {
 	return parallel.MapContext(s.context(), len(benches)*len(mks), s.parallelism, func(i int) (Fig4Row, error) {
 		bench := benches[i/len(mks)]
 		mk := mks[i%len(mks)]
-		tr, err := trafficFor(bench)
+		tr, err := s.trafficFor(bench)
 		if err != nil {
 			return Fig4Row{}, err
 		}
@@ -167,11 +167,16 @@ type TrafficRow struct {
 // Fig5 regenerates Fig. 5: SRAM and 3T-eDRAM at 77 K and 350 K across the
 // full SPECrate 2017 suite.
 func (s *Study) Fig5() ([]TrafficRow, error) {
-	points := []explorer.DesignPoint{
+	return s.trafficStudy(fig5Points())
+}
+
+// fig5Points is the Fig. 5 design-point set (volatile cells at both
+// operating temperatures), shared with per-workload artifact rendering.
+func fig5Points() []explorer.DesignPoint {
+	return []explorer.DesignPoint{
 		explorer.SRAMAt(tech.TempHot350), explorer.EDRAMAt(tech.TempHot350),
 		explorer.SRAMAt(tech.TempCryo77), explorer.EDRAMAt(tech.TempCryo77),
 	}
-	return s.trafficStudy(points)
 }
 
 // Fig7 regenerates Fig. 7: the 2D/3D eNVM sweep (SRAM, PCM, STT-RAM, RRAM;
@@ -189,11 +194,17 @@ func (s *Study) Fig7() ([]TrafficRow, error) {
 // through the explorer's worker pool; rows keep the serial order (each
 // point's benchmarks ascending by read rate).
 func (s *Study) trafficStudy(points []explorer.DesignPoint) ([]TrafficRow, error) {
+	return s.trafficStudyFor(points, workload.SortedByReads())
+}
+
+// trafficStudyFor is trafficStudy over an explicit workload set — the
+// restriction per-workload artifact rendering uses to build Fig. 5 / 7
+// rows for one ingested workload.
+func (s *Study) trafficStudyFor(points []explorer.DesignPoint, traffics []workload.Traffic) ([]TrafficRow, error) {
 	base, err := s.baseline()
 	if err != nil {
 		return nil, err
 	}
-	traffics := workload.SortedByReads()
 	grid, err := s.exp.EvaluateAllContext(s.context(), points, traffics)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,368 @@
+// Package ingest turns user-supplied workloads — raw memory traces or
+// synthetic generator specs — into registered DSE workloads: it
+// materializes the canonical .ctrace bytes, content-addresses them in the
+// persistent store, replays them through the sharded Table I cache
+// hierarchy, extrapolates continuous-operation LLC traffic with the same
+// formula the static SPEC table was calibrated with, and registers the
+// result in the workload registry so every traffic-dependent figure can
+// be rendered for the custom workload.
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"coldtall/internal/sim"
+	"coldtall/internal/store"
+	"coldtall/internal/trace"
+	"coldtall/internal/workload"
+)
+
+// Sizing and core-model defaults.
+const (
+	// MinAccesses keeps the warmup quarter plus measurement window
+	// meaningful; MaxAccesses bounds replay time and memory.
+	MinAccesses = 1000
+	MaxAccesses = 8 << 20
+
+	// DefaultMemOpsPerKiloInstr and DefaultIPC model a mid-range SPEC
+	// core when an upload does not say otherwise.
+	DefaultMemOpsPerKiloInstr = 330
+	DefaultIPC                = 1.0
+
+	// DefaultShards matches the hierarchy's bank structure without
+	// hitting the 64-shard L1D ceiling.
+	DefaultShards = 16
+)
+
+// Store key prefixes. Traces are content-addressed (idempotent across
+// re-uploads); workload records are addressed by name so boot recovery
+// can rebuild the registry with one prefix walk.
+const (
+	TraceKeyPrefix    = "trace|"
+	WorkloadKeyPrefix = "workload|"
+)
+
+// GeneratorSpec describes a synthetic workload, mirroring tracegen's
+// knobs: either a named SPEC profile or a raw pattern over a working set.
+type GeneratorSpec struct {
+	// Profile bases the stream on a named SPEC stand-in profile
+	// (mutually exclusive with Pattern).
+	Profile string `json:"profile,omitempty"`
+	// Pattern is stream, chase, zipf, or chain.
+	Pattern string `json:"pattern,omitempty"`
+	// WorkingSetBytes sizes the pattern's region.
+	WorkingSetBytes uint64 `json:"working_set_bytes,omitempty"`
+	// WriteFrac is the store fraction in [0,1].
+	WriteFrac float64 `json:"write_frac,omitempty"`
+	// ZipfSkew (> 1) shapes the zipf pattern.
+	ZipfSkew float64 `json:"zipf_skew,omitempty"`
+	// Accesses is the stream length to generate.
+	Accesses int `json:"accesses"`
+	// Seed fixes the PRNG so ingestion is reproducible.
+	Seed int64 `json:"seed"`
+}
+
+// build constructs the generator.
+func (g GeneratorSpec) build() (trace.Generator, error) {
+	if g.Profile != "" {
+		p, err := workload.ProfileByName(g.Profile)
+		if err != nil {
+			return nil, err
+		}
+		return p.Generator(g.Seed)
+	}
+	region := trace.Region{Base: 1 << 30, Size: g.WorkingSetBytes}
+	switch g.Pattern {
+	case "stream":
+		return trace.NewStream(region, 1, g.WriteFrac, g.Seed)
+	case "chase":
+		return trace.NewPointerChase(region, g.WriteFrac, g.Seed)
+	case "zipf":
+		return trace.NewZipf(region, g.ZipfSkew, g.WriteFrac, g.Seed)
+	case "chain":
+		return trace.NewChain(region, g.WriteFrac, g.Seed)
+	}
+	return nil, fmt.Errorf("ingest: unknown pattern %q (want stream, chase, zipf, or chain)", g.Pattern)
+}
+
+// Validate reports spec errors.
+func (g GeneratorSpec) Validate() error {
+	if g.Profile != "" && g.Pattern != "" {
+		return fmt.Errorf("ingest: generator spec sets both profile and pattern")
+	}
+	if g.Profile == "" && g.Pattern == "" {
+		return fmt.Errorf("ingest: generator spec needs a profile or a pattern")
+	}
+	if g.Profile == "" {
+		if g.WorkingSetBytes == 0 {
+			return fmt.Errorf("ingest: pattern mode needs working_set_bytes")
+		}
+		if g.WriteFrac < 0 || g.WriteFrac > 1 {
+			return fmt.Errorf("ingest: write fraction %g out of [0,1]", g.WriteFrac)
+		}
+	}
+	if g.Accesses < MinAccesses || g.Accesses > MaxAccesses {
+		return fmt.Errorf("ingest: accesses %d out of [%d,%d]", g.Accesses, MinAccesses, MaxAccesses)
+	}
+	return nil
+}
+
+// Spec is one ingestion request: a workload name plus exactly one of a
+// serialized trace (text or .ctrace, autodetected) or a generator spec.
+type Spec struct {
+	// Name registers the workload (lowercase [a-z0-9._-], max 64).
+	Name string `json:"name"`
+	// Description is free-form provenance.
+	Description string `json:"description,omitempty"`
+	// Trace is the serialized trace; JSON carries it base64-encoded.
+	Trace []byte `json:"trace,omitempty"`
+	// Generator describes a synthetic stream instead of a trace.
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+	// MemOpsPerKiloInstr and IPC are the core model used to extrapolate
+	// access counts into rates; zero selects the defaults (or, for a
+	// profile-based generator, the profile's own values).
+	MemOpsPerKiloInstr float64 `json:"mem_ops_per_kilo_instr,omitempty"`
+	IPC                float64 `json:"ipc,omitempty"`
+}
+
+// Validate reports structural errors without materializing the stream.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("ingest: a workload name is required")
+	}
+	if workload.IsStatic(s.Name) {
+		return fmt.Errorf("ingest: %q is a reserved static benchmark name", s.Name)
+	}
+	if (len(s.Trace) == 0) == (s.Generator == nil) {
+		return fmt.Errorf("ingest: exactly one of trace or generator is required")
+	}
+	if s.Generator != nil {
+		if err := s.Generator.Validate(); err != nil {
+			return err
+		}
+	}
+	memKI, ipc := s.coreModel()
+	if memKI <= 0 || memKI > 1000 {
+		return fmt.Errorf("ingest: mem ops per kiloinstruction %g out of (0,1000]", memKI)
+	}
+	if ipc <= 0 || ipc > 8 {
+		return fmt.Errorf("ingest: IPC %g out of (0,8]", ipc)
+	}
+	return nil
+}
+
+// coreModel resolves the extrapolation parameters: explicit values win,
+// then a profile-based generator inherits its profile, then defaults.
+func (s Spec) coreModel() (memKI, ipc float64) {
+	memKI, ipc = s.MemOpsPerKiloInstr, s.IPC
+	if s.Generator != nil && s.Generator.Profile != "" {
+		if p, err := workload.ProfileByName(s.Generator.Profile); err == nil {
+			if memKI == 0 {
+				memKI = p.MemOpsPerKiloInstr
+			}
+			if ipc == 0 {
+				ipc = p.IPC
+			}
+		}
+	}
+	if memKI == 0 {
+		memKI = DefaultMemOpsPerKiloInstr
+	}
+	if ipc == 0 {
+		ipc = DefaultIPC
+	}
+	return memKI, ipc
+}
+
+// Kind reports the provenance class the spec produces.
+func (s Spec) Kind() workload.SourceKind {
+	if len(s.Trace) > 0 {
+		return workload.SourceTrace
+	}
+	return workload.SourceProfile
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workloads receives the ingested Source (required).
+	Workloads *workload.Registry
+	// Store, when set, persists the canonical trace bytes (content-
+	// addressed) and the workload record (by name) for boot recovery.
+	Store *store.Store
+	// Shards and Workers size the replay engine; zero selects
+	// DefaultShards and one worker per CPU.
+	Shards  int
+	Workers int
+	// OnProgress observes replay progress in accesses.
+	OnProgress func(done, total uint64)
+}
+
+// Result reports one completed ingestion.
+type Result struct {
+	// Source is the registered workload.
+	Source workload.Source `json:"source"`
+	// Stats are the measurement-window hierarchy counters (warmup
+	// excluded).
+	Stats sim.HierarchyStats `json:"stats"`
+	// WarmupAccesses is how many leading accesses warmed the caches.
+	WarmupAccesses uint64 `json:"warmup_accesses"`
+	// TraceBytes is the size of the canonical .ctrace encoding.
+	TraceBytes int `json:"trace_bytes"`
+	// ReplaySeconds is wall-clock simulation time.
+	ReplaySeconds float64 `json:"replay_seconds"`
+}
+
+// materialize resolves the spec into its access stream.
+func materialize(s Spec) ([]trace.Access, error) {
+	if s.Generator != nil {
+		g, err := s.Generator.build()
+		if err != nil {
+			return nil, err
+		}
+		return trace.Collect(g, s.Generator.Accesses), nil
+	}
+	accesses, err := trace.ReadAll(trace.NewReader(bytes.NewReader(s.Trace)))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: decoding trace: %w", err)
+	}
+	if len(accesses) < MinAccesses {
+		return nil, fmt.Errorf("ingest: trace has %d accesses, need at least %d for a meaningful measurement", len(accesses), MinAccesses)
+	}
+	if len(accesses) > MaxAccesses {
+		return nil, fmt.Errorf("ingest: trace has %d accesses, exceeding the %d cap", len(accesses), MaxAccesses)
+	}
+	return accesses, nil
+}
+
+// Run executes one ingestion: materialize, content-address, replay with
+// the warmup quarter excluded (exactly as workload.Measure calibrates the
+// static table), derive traffic, register, persist. It is idempotent —
+// re-running a spec re-derives identical bytes and an identical Source,
+// which the registry accepts silently — so crashed ingest jobs can simply
+// be re-run from their stored spec.
+func Run(ctx context.Context, spec Spec, opts Options) (Result, error) {
+	if opts.Workloads == nil {
+		return Result{}, fmt.Errorf("ingest: a workload registry is required")
+	}
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	accesses, err := materialize(spec)
+	if err != nil {
+		return Result{}, err
+	}
+
+	canonical := trace.EncodeBinary(accesses)
+	sum := sha256.Sum256(canonical)
+	sha := hex.EncodeToString(sum[:])
+	if opts.Store != nil {
+		if err := opts.Store.Put(TraceKeyPrefix+sha, canonical); err != nil {
+			return Result{}, err
+		}
+	}
+
+	shards := opts.Shards
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	eng, err := sim.NewSharded(sim.TableIConfig(), shards, opts.Workers)
+	if err != nil {
+		return Result{}, err
+	}
+
+	total := uint64(len(accesses))
+	warmup := len(accesses) / 4
+	start := time.Now()
+	if err := replayChunks(ctx, eng, accesses[:warmup], 0, total, opts.OnProgress); err != nil {
+		return Result{}, err
+	}
+	atWarm := eng.Snapshot()
+	if err := replayChunks(ctx, eng, accesses[warmup:], uint64(warmup), total, opts.OnProgress); err != nil {
+		return Result{}, err
+	}
+	window := eng.Snapshot().Sub(atWarm)
+	elapsed := time.Since(start).Seconds()
+
+	memKI, ipc := spec.coreModel()
+	src := workload.Source{
+		Name:               spec.Name,
+		Kind:               spec.Kind(),
+		Description:        spec.Description,
+		Traffic:            workload.Extrapolate(spec.Name, window.LLC().Reads, window.LLC().Writes, window.Accesses, memKI, ipc),
+		Accesses:           total,
+		TraceSHA256:        sha,
+		MemOpsPerKiloInstr: memKI,
+		IPC:                ipc,
+	}
+	if err := opts.Workloads.Add(src); err != nil {
+		return Result{}, err
+	}
+	if opts.Store != nil {
+		rec, err := json.Marshal(src)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := opts.Store.Put(WorkloadKeyPrefix+spec.Name, rec); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Source:         src,
+		Stats:          window,
+		WarmupAccesses: uint64(warmup),
+		TraceBytes:     len(canonical),
+		ReplaySeconds:  elapsed,
+	}, nil
+}
+
+// replayChunk is the checkpoint granularity: progress fires per chunk, so
+// the job layer's done counter advances in block-sized steps.
+const replayChunk = 1 << 16
+
+// replayChunks feeds a slice through the engine in chunks, reporting
+// cumulative progress against the whole stream.
+func replayChunks(ctx context.Context, eng *sim.Sharded, accesses []trace.Access, base, total uint64, progress func(done, total uint64)) error {
+	for off := 0; off < len(accesses); off += replayChunk {
+		end := off + replayChunk
+		if end > len(accesses) {
+			end = len(accesses)
+		}
+		if err := eng.Replay(ctx, accesses[off:end]); err != nil {
+			return err
+		}
+		if progress != nil {
+			progress(base+uint64(end), total)
+		}
+	}
+	return nil
+}
+
+// RecoverSources walks the store's workload records back into the
+// registry — the boot path that makes ingested workloads survive a server
+// restart. Records that fail to decode or conflict are skipped and
+// counted rather than fatal: one bad record must not take down boot.
+func RecoverSources(st *store.Store, reg *workload.Registry) (recovered, skipped int, err error) {
+	if st == nil {
+		return 0, 0, nil
+	}
+	err = st.Walk(func(key string, val []byte) error {
+		if !strings.HasPrefix(key, WorkloadKeyPrefix) {
+			return nil
+		}
+		var src workload.Source
+		if json.Unmarshal(val, &src) != nil || reg.Add(src) != nil {
+			skipped++
+			return nil
+		}
+		recovered++
+		return nil
+	})
+	return recovered, skipped, err
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"coldtall/internal/explorer"
+	"coldtall/internal/ingest"
 	"coldtall/internal/workload"
 )
 
@@ -55,6 +56,9 @@ const (
 	// KindArtifact builds one registry artifact as CSV (the async form of
 	// GET /v1/artifacts/{name}?format=csv, byte-identical to it).
 	KindArtifact = "artifact"
+	// KindIngest runs one workload ingestion (the async form of
+	// POST /v1/workloads): materialize, replay, register.
+	KindIngest = "ingest"
 )
 
 // Spec describes a job. Equal specs canonicalize to equal job IDs, so
@@ -71,16 +75,33 @@ type Spec struct {
 
 	// Artifact names a registry artifact (Kind == "artifact").
 	Artifact string `json:"artifact,omitempty"`
+
+	// Workload, when set on an artifact job, restricts a traffic-dependent
+	// artifact to one workload (static or ingested) instead of the full
+	// suite.
+	Workload string `json:"workload,omitempty"`
+
+	// Ingest is the ingestion request (Kind == "ingest").
+	Ingest *ingest.Spec `json:"ingest,omitempty"`
 }
 
 // sweepGridLimit mirrors the synchronous endpoint's bound: a job is
 // long-running, not unbounded.
 const sweepGridLimit = 64
 
-// Validate checks the spec, resolving sweep points and benchmarks (the
-// same parse path the synchronous endpoints use, so a spec rejected here
-// would have been rejected there too).
+// Validate checks the spec against the static workload table. Managers
+// with a dynamic registry attached validate through ValidateWith instead,
+// so sweeps and restricted artifact jobs can also name ingested
+// workloads.
 func (sp Spec) Validate() error {
+	return sp.ValidateWith(workload.StaticTrafficFor)
+}
+
+// ValidateWith checks the spec, resolving sweep points with the explorer's
+// parser and benchmark/workload names through resolve (the same paths the
+// synchronous endpoints use, so a spec rejected here would have been
+// rejected there too).
+func (sp Spec) ValidateWith(resolve func(string) (workload.Traffic, error)) error {
 	switch sp.Kind {
 	case KindSweep:
 		if len(sp.Points) == 0 {
@@ -95,7 +116,7 @@ func (sp Spec) Validate() error {
 			}
 		}
 		for i, name := range sp.Benchmarks {
-			if _, err := workload.StaticTrafficFor(name); err != nil {
+			if _, err := resolve(name); err != nil {
 				return fmt.Errorf("job: benchmarks[%d]: %w", i, err)
 			}
 		}
@@ -104,9 +125,19 @@ func (sp Spec) Validate() error {
 		if sp.Artifact == "" {
 			return fmt.Errorf("job: artifact job needs an artifact name")
 		}
+		if sp.Workload != "" {
+			if _, err := resolve(sp.Workload); err != nil {
+				return fmt.Errorf("job: workload: %w", err)
+			}
+		}
 		return nil
+	case KindIngest:
+		if sp.Ingest == nil {
+			return fmt.Errorf("job: ingest job needs an ingest spec")
+		}
+		return sp.Ingest.Validate()
 	default:
-		return fmt.Errorf("job: unknown kind %q (want %q or %q)", sp.Kind, KindSweep, KindArtifact)
+		return fmt.Errorf("job: unknown kind %q (want %q, %q, or %q)", sp.Kind, KindSweep, KindArtifact, KindIngest)
 	}
 }
 
@@ -120,7 +151,9 @@ func (sp Spec) id() string {
 		Points     []explorer.PointSpec `json:"points,omitempty"`
 		Benchmarks []string             `json:"benchmarks,omitempty"`
 		Artifact   string               `json:"artifact,omitempty"`
-	}{sp.Kind, sp.Points, sp.Benchmarks, sp.Artifact}
+		Workload   string               `json:"workload,omitempty"`
+		Ingest     *ingest.Spec         `json:"ingest,omitempty"`
+	}{sp.Kind, sp.Points, sp.Benchmarks, sp.Artifact, sp.Workload, sp.Ingest}
 	b, err := json.Marshal(canon)
 	if err != nil {
 		// A Spec is plain data; Marshal cannot fail on it. Guard anyway.
@@ -144,6 +177,9 @@ type Status struct {
 	Error string `json:"error,omitempty"`
 	// Artifact names the artifact for artifact jobs.
 	Artifact string `json:"artifact,omitempty"`
+	// Workload names the restricting workload on artifact jobs, or the
+	// registered workload on ingest jobs.
+	Workload string `json:"workload,omitempty"`
 	// Resumed counts cells restored from checkpoints rather than computed
 	// in this process — nonzero after a crash-recovery restart.
 	Resumed int `json:"resumed,omitempty"`

@@ -13,6 +13,7 @@ import (
 
 	"coldtall"
 	"coldtall/internal/explorer"
+	"coldtall/internal/ingest"
 	"coldtall/internal/parallel"
 	"coldtall/internal/report"
 	"coldtall/internal/store"
@@ -34,9 +35,16 @@ type Options struct {
 	// attempt, capped at max (defaults 25ms and 1s).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// Workloads is the dynamic workload registry ingest jobs register
+	// into and sweep/artifact jobs resolve names through. nil restricts
+	// name resolution to the static table and rejects ingest jobs.
+	Workloads *workload.Registry
 	// OnTransition, when set, observes every state change (the metrics
 	// layer feeds job counters from it). Called outside the job lock.
 	OnTransition func(id string, from, to State)
+	// OnIngest, when set, observes every completed ingestion (the metrics
+	// layer feeds upload histograms from it).
+	OnIngest func(res ingest.Result)
 	// Logger receives job lifecycle lines; nil discards them.
 	Logger *log.Logger
 }
@@ -98,6 +106,14 @@ func NewManager(study *coldtall.Study, opts Options) (*Manager, error) {
 	if study == nil {
 		return nil, fmt.Errorf("job: study must not be nil")
 	}
+	// Keep the manager and its study resolving workload names through the
+	// same registry: an ingest job registers a workload, and a restricted
+	// artifact job for it renders through the study — both must see it.
+	if opts.Workloads == nil {
+		opts.Workloads = study.Workloads()
+	} else {
+		study.SetWorkloads(opts.Workloads)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		study:      study,
@@ -118,16 +134,34 @@ func (m *Manager) logf(format string, args ...any) {
 	}
 }
 
+// trafficFor resolves a workload name: through the attached registry when
+// one is present (static names resolve identically through it), the static
+// table otherwise.
+func (m *Manager) trafficFor(name string) (workload.Traffic, error) {
+	if m.opts.Workloads != nil {
+		return m.opts.Workloads.Traffic(name)
+	}
+	return workload.StaticTrafficFor(name)
+}
+
 // Submit validates the spec and starts (or finds) its job. Submission is
 // idempotent: the same spec maps to the same deterministic ID, and a live
 // or completed job under that ID is returned as-is rather than re-run.
 func (m *Manager) Submit(spec Spec) (Status, error) {
-	if err := spec.Validate(); err != nil {
+	if err := spec.ValidateWith(m.trafficFor); err != nil {
 		return Status{}, err
 	}
-	if spec.Kind == KindArtifact {
+	switch spec.Kind {
+	case KindArtifact:
 		if _, ok := coldtall.Artifacts().Lookup(spec.Artifact); !ok {
 			return Status{}, fmt.Errorf("job: unknown artifact %q", spec.Artifact)
+		}
+		if spec.Workload != "" && !coldtall.IsTrafficArtifact(spec.Artifact) {
+			return Status{}, fmt.Errorf("job: artifact %q is workload-independent (per-workload artifacts: %v)", spec.Artifact, coldtall.TrafficArtifactNames())
+		}
+	case KindIngest:
+		if m.opts.Workloads == nil {
+			return Status{}, fmt.Errorf("job: this manager has no workload registry; ingest jobs are disabled")
 		}
 	}
 	id := spec.id()
@@ -145,12 +179,17 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 
 func (m *Manager) newJob(id string, spec Spec) *Job {
 	total := 1
-	if spec.Kind == KindSweep {
+	switch {
+	case spec.Kind == KindSweep:
 		benches := len(spec.Benchmarks)
 		if benches == 0 {
 			benches = len(workload.StaticTraffic())
 		}
 		total = len(spec.Points) * benches
+	case spec.Kind == KindIngest && spec.Ingest != nil && spec.Ingest.Generator != nil:
+		// Generator specs know their length up front; trace uploads learn
+		// theirs at the first progress report.
+		total = spec.Ingest.Generator.Accesses
 	}
 	return &Job{id: id, spec: spec, state: StateQueued, total: total, fin: make(chan struct{})}
 }
@@ -321,6 +360,10 @@ func (m *Manager) Recover() (int, error) {
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	wl := j.spec.Workload
+	if j.spec.Kind == KindIngest && j.spec.Ingest != nil {
+		wl = j.spec.Ingest.Name
+	}
 	return Status{
 		ID:       j.id,
 		Kind:     j.spec.Kind,
@@ -329,6 +372,7 @@ func (j *Job) Status() Status {
 		Total:    j.total,
 		Error:    j.errMsg,
 		Artifact: j.spec.Artifact,
+		Workload: wl,
 		Resumed:  j.resumed,
 	}
 }
@@ -399,6 +443,8 @@ func (m *Manager) run(ctx context.Context, j *Job) {
 		err = m.runSweep(ctx, j)
 	case KindArtifact:
 		err = m.runArtifact(ctx, j)
+	case KindIngest:
+		err = m.runIngest(ctx, j)
 	default:
 		err = fmt.Errorf("job: unknown kind %q", j.spec.Kind)
 	}
@@ -431,19 +477,60 @@ func (m *Manager) setResult(j *Job, body []byte, ctype string) {
 }
 
 // runArtifact builds one registry artifact as CSV through the exact
-// pipeline the synchronous endpoint uses (Study.ArtifactTable +
-// RenderCSV), so the async payload is byte-identical to
-// GET /v1/artifacts/{name}?format=csv.
+// pipeline the synchronous endpoint uses (Study.ArtifactTable or, with a
+// restricting workload, RenderWorkloadArtifactCSV), so the async payload
+// is byte-identical to the synchronous response.
 func (m *Manager) runArtifact(ctx context.Context, j *Job) error {
-	t, err := m.study.WithContext(ctx).ArtifactTable(j.spec.Artifact)
+	st := m.study.WithContext(ctx)
+	var b strings.Builder
+	if j.spec.Workload != "" {
+		if err := st.RenderWorkloadArtifactCSV(&b, j.spec.Artifact, j.spec.Workload); err != nil {
+			return err
+		}
+	} else {
+		t, err := st.ArtifactTable(j.spec.Artifact)
+		if err != nil {
+			return err
+		}
+		if err := t.RenderCSV(&b); err != nil {
+			return err
+		}
+	}
+	m.setResult(j, []byte(b.String()), "text/csv; charset=utf-8")
+	j.mu.Lock()
+	j.done = j.total
+	j.mu.Unlock()
+	return nil
+}
+
+// runIngest executes one workload ingestion. Progress is reported in
+// accesses replayed (one unit per access, advancing in trace-block-sized
+// steps), persisted per chunk so a restarted process sees how far the dead
+// one got; the re-run itself is safe because ingest.Run is idempotent.
+// The job's result payload is the ingest result JSON.
+func (m *Manager) runIngest(ctx context.Context, j *Job) error {
+	res, err := ingest.Run(ctx, *j.spec.Ingest, ingest.Options{
+		Workloads: m.opts.Workloads,
+		Store:     m.opts.Store,
+		Workers:   m.opts.Workers,
+		OnProgress: func(done, total uint64) {
+			j.mu.Lock()
+			j.done, j.total = int(done), int(total)
+			j.mu.Unlock()
+			m.persist(j)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	var b strings.Builder
-	if err := t.RenderCSV(&b); err != nil {
+	if m.opts.OnIngest != nil {
+		m.opts.OnIngest(res)
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
 		return err
 	}
-	m.setResult(j, []byte(b.String()), "text/csv; charset=utf-8")
+	m.setResult(j, body, "application/json")
 	j.mu.Lock()
 	j.done = j.total
 	j.mu.Unlock()
@@ -509,7 +596,7 @@ func (m *Manager) runSweep(ctx context.Context, j *Job) error {
 		traffics = workload.StaticTraffic()
 	} else {
 		for i, name := range j.spec.Benchmarks {
-			tr, err := workload.StaticTrafficFor(name)
+			tr, err := m.trafficFor(name)
 			if err != nil {
 				return fmt.Errorf("benchmarks[%d]: %w", i, err)
 			}

@@ -11,6 +11,7 @@ import (
 
 	"coldtall"
 	"coldtall/internal/explorer"
+	"coldtall/internal/ingest"
 	"coldtall/internal/store"
 	"coldtall/internal/workload"
 )
@@ -409,5 +410,130 @@ func TestTransitionHookObservesLifecycle(t *testing.T) {
 	}
 	if len(mu) != 2 || mu[0] != "queued>running" || mu[1] != "running>done" {
 		t.Errorf("transitions = %v", mu)
+	}
+}
+
+// ingestSpec is a small synthetic upload used by the ingest-job tests.
+func ingestSpec(name string) *ingest.Spec {
+	return &ingest.Spec{
+		Name: name,
+		Generator: &ingest.GeneratorSpec{
+			Pattern:         "stream",
+			WorkingSetBytes: 64 << 20,
+			WriteFrac:       0.25,
+			Accesses:        50000,
+			Seed:            11,
+		},
+	}
+}
+
+// TestIngestJobLifecycle: an ingest job replays the upload, registers the
+// workload, persists its record, and leaves the ingest result as the job
+// payload.
+func TestIngestJobLifecycle(t *testing.T) {
+	reg := workload.NewRegistry()
+	st := openStore(t, t.TempDir())
+	var hooked atomic.Int64
+	m := newTestManager(t, Options{
+		Store:     st,
+		Workloads: reg,
+		OnIngest:  func(res ingest.Result) { hooked.Add(1) },
+	})
+
+	sub, err := m.Submit(Spec{Kind: KindIngest, Ingest: ingestSpec("upstream")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Kind != KindIngest || sub.Workload != "upstream" || sub.Total != 50000 {
+		t.Fatalf("submit status = %+v", sub)
+	}
+	fin := waitDone(t, m, sub.ID)
+	if fin.State != StateDone || fin.Done != 50000 {
+		t.Fatalf("final status = %+v (%s)", fin, fin.Error)
+	}
+	if hooked.Load() != 1 {
+		t.Fatalf("OnIngest fired %d times", hooked.Load())
+	}
+
+	body, ctype, ok := m.Result(sub.ID)
+	if !ok || ctype != "application/json" {
+		t.Fatalf("Result: ok=%v ctype=%q", ok, ctype)
+	}
+	var res ingest.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	src, ok := reg.Lookup("upstream")
+	if !ok || src != res.Source {
+		t.Fatalf("registry source %+v does not match job payload %+v", src, res.Source)
+	}
+	if _, ok := st.Get(ingest.WorkloadKeyPrefix + "upstream"); !ok {
+		t.Fatal("workload record not persisted")
+	}
+
+	// Resubmitting the identical spec reuses the finished job.
+	again, err := m.Submit(Spec{Kind: KindIngest, Ingest: ingestSpec("upstream")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != sub.ID {
+		t.Fatalf("resubmission created a new job: %s vs %s", again.ID, sub.ID)
+	}
+}
+
+// TestIngestJobRequiresRegistry: managers without a registry reject ingest
+// work up front.
+func TestIngestJobRequiresRegistry(t *testing.T) {
+	m := newTestManager(t, Options{})
+	if _, err := m.Submit(Spec{Kind: KindIngest, Ingest: ingestSpec("x")}); err == nil {
+		t.Fatal("ingest accepted without a registry")
+	}
+	if _, err := m.Submit(Spec{Kind: KindIngest}); err == nil {
+		t.Fatal("ingest accepted without a spec")
+	}
+}
+
+// TestWorkloadArtifactJobMatchesSync: an artifact job restricted to an
+// ingested workload produces bytes identical to the synchronous
+// RenderWorkloadArtifactCSV path — the acceptance property for the
+// ingestion loop.
+func TestWorkloadArtifactJobMatchesSync(t *testing.T) {
+	reg := workload.NewRegistry()
+	m := newTestManager(t, Options{Workloads: reg})
+
+	sub, err := m.Submit(Spec{Kind: KindIngest, Ingest: ingestSpec("mine")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitDone(t, m, sub.ID); fin.State != StateDone {
+		t.Fatalf("ingest failed: %+v", fin)
+	}
+
+	art, err := m.Submit(Spec{Kind: KindArtifact, Artifact: "fig5", Workload: "mine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := waitDone(t, m, art.ID); fin.State != StateDone {
+		t.Fatalf("artifact job failed: %+v", fin)
+	}
+	body, ctype, ok := m.Result(art.ID)
+	if !ok || !strings.HasPrefix(ctype, "text/csv") {
+		t.Fatalf("Result: ok=%v ctype=%q", ok, ctype)
+	}
+	var want strings.Builder
+	if err := m.study.RenderWorkloadArtifactCSV(&want, "fig5", "mine"); err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != want.String() {
+		t.Error("async per-workload artifact diverged from the synchronous rendering")
+	}
+
+	// Restricting a workload-independent artifact is rejected at submit.
+	if _, err := m.Submit(Spec{Kind: KindArtifact, Artifact: "fig1", Workload: "mine"}); err == nil {
+		t.Fatal("fig1 accepted a workload restriction")
+	}
+	// Unknown workloads are rejected at submit.
+	if _, err := m.Submit(Spec{Kind: KindArtifact, Artifact: "fig5", Workload: "ghost"}); err == nil {
+		t.Fatal("unknown workload accepted")
 	}
 }

@@ -177,7 +177,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	tr, err := workload.StaticTrafficFor(req.Benchmark)
+	tr, err := s.workloads.Traffic(req.Benchmark)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -238,7 +238,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		keys = append(keys, "ALL")
 	} else {
 		for i, name := range req.Benchmarks {
-			tr, err := workload.StaticTrafficFor(name)
+			tr, err := s.workloads.Traffic(name)
 			if err != nil {
 				badRequest(w, fmt.Errorf("benchmarks[%d]: %w", i, err))
 				return

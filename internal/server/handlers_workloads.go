@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"coldtall"
+	"coldtall/internal/ingest"
+	"coldtall/internal/job"
+	"coldtall/internal/workload"
+)
+
+// workloadListResponse enumerates the registry: the 23 static SPEC
+// entries in canonical order, then ingested workloads by name.
+type workloadListResponse struct {
+	Workloads []workload.Source `json:"workloads"`
+}
+
+// handleWorkloadSubmit accepts an ingestion spec (a base64 trace or a
+// generator description) and runs it as an async job: replaying a trace
+// through the cache hierarchy takes seconds, which does not belong inside
+// a synchronous request. Answers 202 with the job status; the registered
+// workload appears under /v1/workloads/{name} once the job is done.
+func (s *Server) handleWorkloadSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec ingest.Spec
+	if !s.decode(w, r, &spec) {
+		return
+	}
+	status, err := s.jobs.Submit(job.Spec{Kind: job.KindIngest, Ingest: &spec})
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+status.ID)
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(status)
+}
+
+// handleWorkloadList serves the full workload catalog.
+func (s *Server) handleWorkloadList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(workloadListResponse{Workloads: s.workloads.All()})
+}
+
+// handleWorkloadGet serves one workload's source record (static or
+// ingested).
+func (s *Server) handleWorkloadGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	src, ok := s.workloads.Lookup(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown workload %q (see GET /v1/workloads for the catalog)", name), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(src)
+}
+
+// handleWorkloadArtifact renders one traffic-dependent artifact restricted
+// to one workload, through the exact same table-building path the async
+// artifact job uses — the two responses are byte-identical by
+// construction. Cached per (workload, artifact, format); registry entries
+// are add-only with conflict rejection, so a cached rendering can never go
+// stale against its workload's traffic.
+func (s *Server) handleWorkloadArtifact(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := s.workloads.Lookup(name); !ok {
+		http.Error(w, fmt.Sprintf("unknown workload %q (see GET /v1/workloads for the catalog)", name), http.StatusNotFound)
+		return
+	}
+	d, ok := coldtall.Artifacts().Lookup(r.PathValue("artifact"))
+	if !ok || !coldtall.IsTrafficArtifact(d.Name) {
+		http.Error(w, fmt.Sprintf("artifact %q cannot be rendered per-workload (want one of %v)",
+			r.PathValue("artifact"), coldtall.TrafficArtifactNames()), http.StatusNotFound)
+		return
+	}
+	format, err := artifactFormat(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	contentType := "application/json"
+	if format == "csv" {
+		contentType = "text/csv; charset=utf-8"
+	}
+	key := "workload-artifact|" + name + "|" + d.Name + "|" + format
+	s.serveCached(w, r, contentType, key, func(ctx context.Context) ([]byte, error) {
+		st := s.study.WithContext(ctx)
+		if format == "csv" {
+			var b strings.Builder
+			if err := st.RenderWorkloadArtifactCSV(&b, d.Name, name); err != nil {
+				return nil, err
+			}
+			return []byte(b.String()), nil
+		}
+		t, err := st.WorkloadArtifactTable(d.Name, name)
+		if err != nil {
+			return nil, err
+		}
+		rows := t.JSONRows()
+		if rows == nil {
+			rows = [][]any{}
+		}
+		return json.Marshal(artifactResponse{artifactInfo: artifactInfoDTO(d), Rows: rows})
+	})
+}

@@ -12,7 +12,15 @@
 //	POST /v1/evaluate            application-level metrics under one benchmark
 //	POST /v1/sweep               points x benchmarks evaluation grid
 //	POST /v1/pareto              Pareto-optimal internal organizations
-//	POST /v1/jobs                submit an async sweep/artifact job (202 + ID)
+//	POST /v1/workloads           ingest a custom workload (trace or generator
+//	                             spec) as an async job (202 + job ID)
+//	GET  /v1/workloads           workload catalog: 23 static SPEC entries plus
+//	                             every ingested workload
+//	GET  /v1/workloads/{name}    one workload's source record
+//	GET  /v1/workloads/{name}/artifacts/{artifact}
+//	                             a traffic-dependent artifact (fig5, fig7,
+//	                             coldtall) rendered for one workload
+//	POST /v1/jobs                submit an async sweep/artifact/ingest job (202 + ID)
 //	GET  /v1/jobs                job table (ordered by ID)
 //	GET  /v1/jobs/{id}           job state + progress
 //	GET  /v1/jobs/{id}/result    finished job payload (sweep JSON / artifact CSV)
@@ -45,9 +53,11 @@ import (
 	"coldtall"
 	"coldtall/internal/cache"
 	"coldtall/internal/explorer"
+	"coldtall/internal/ingest"
 	"coldtall/internal/job"
 	"coldtall/internal/metrics"
 	"coldtall/internal/store"
+	"coldtall/internal/workload"
 )
 
 // Config tunes the service. The zero value of every field selects a
@@ -127,6 +137,13 @@ type serverMetrics struct {
 	evictions   *metrics.Counter
 	// jobsRunning tracks async jobs currently executing.
 	jobsRunning *metrics.Gauge
+	// workloadUploads counts completed ingestions; the histograms profile
+	// what arrives (canonical trace bytes, access counts) and how long the
+	// replay simulation takes.
+	workloadUploads *metrics.Counter
+	traceBytes      *metrics.Histogram
+	traceAccesses   *metrics.Histogram
+	replaySeconds   *metrics.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -142,6 +159,16 @@ func newServerMetrics() *serverMetrics {
 		panics:         reg.Counter("coldtall_panics_total", "Handler panics recovered to 500s."),
 		evictions:      reg.Counter("coldtall_cache_evictions_total", "Response cache entries evicted under capacity pressure."),
 		jobsRunning:    reg.Gauge("coldtall_jobs_running", "Async jobs currently executing."),
+		workloadUploads: reg.Counter("coldtall_workload_uploads_total",
+			"Workload ingestions completed (traces and generator specs)."),
+		traceBytes: reg.Histogram("coldtall_workload_trace_bytes",
+			"Canonical .ctrace size of ingested workloads in bytes.",
+			[]float64{1 << 10, 16 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}),
+		traceAccesses: reg.Histogram("coldtall_workload_trace_accesses",
+			"Access count of ingested workloads.",
+			[]float64{1e3, 1e4, 1e5, 1e6, 4e6, 8e6}),
+		replaySeconds: reg.Histogram("coldtall_workload_replay_seconds",
+			"Wall-clock LLC replay time per ingestion.", nil),
 	}
 }
 
@@ -181,6 +208,7 @@ type Server struct {
 	respCache *cache.Cache[[]byte]
 	st        *store.Store
 	jobs      *job.Manager
+	workloads *workload.Registry
 	met       *serverMetrics
 	admission chan struct{}
 	handler   http.Handler
@@ -216,6 +244,12 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 		admission: make(chan struct{}, cfg.MaxInflight),
 	}
 	s.respCache.SetOnEvict(func(n int) { s.met.evictions.Add(int64(n)) })
+	// The dynamic workload registry: the study resolves figure traffic
+	// through it, the job manager registers ingestions into it, and the
+	// /v1/workloads routes list it. Static SPEC names resolve identically
+	// through it, so attaching it changes nothing for existing clients.
+	s.workloads = workload.NewRegistry()
+	study.SetWorkloads(s.workloads)
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, store.Options{Version: explorer.ModelVersion})
 		if err != nil {
@@ -227,11 +261,26 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 		if n := warmCache(st, s.respCache); n > 0 {
 			cfg.Logger.Printf("store: warm-seeded %d response entries from %s", n, st.Dir())
 		}
+		// Rebuild the registry from persisted workload records before job
+		// recovery: a resumed artifact job may reference an ingested
+		// workload and must find it already registered.
+		if rec, skip, err := ingest.RecoverSources(st, s.workloads); err != nil {
+			cfg.Logger.Printf("workload recovery: %v", err)
+		} else if rec > 0 || skip > 0 {
+			cfg.Logger.Printf("workload recovery: restored %d ingested workloads (%d records skipped)", rec, skip)
+		}
 	}
 	s.jobs, err = job.NewManager(study, job.Options{
-		Store:   s.st,
-		Workers: cfg.JobWorkers,
-		Logger:  cfg.Logger,
+		Store:     s.st,
+		Workers:   cfg.JobWorkers,
+		Logger:    cfg.Logger,
+		Workloads: s.workloads,
+		OnIngest: func(res ingest.Result) {
+			s.met.workloadUploads.Inc()
+			s.met.traceBytes.Observe(float64(res.TraceBytes))
+			s.met.traceAccesses.Observe(float64(res.Source.Accesses))
+			s.met.replaySeconds.Observe(res.ReplaySeconds)
+		},
 		OnTransition: func(id string, from, to job.State) {
 			if to == job.StateRunning {
 				s.met.jobsRunning.Inc()
@@ -272,6 +321,10 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("POST /v1/workloads", s.handleWorkloadSubmit)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloadList)
+	mux.HandleFunc("GET /v1/workloads/{name}", s.handleWorkloadGet)
+	mux.HandleFunc("GET /v1/workloads/{name}/artifacts/{artifact}", s.handleWorkloadArtifact)
 	mux.HandleFunc("GET /v1/artifacts", s.handleArtifactList)
 	mux.HandleFunc("GET /v1/artifacts/{name}", s.handleArtifactByName)
 	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
@@ -303,6 +356,10 @@ func (s *Server) Jobs() *job.Manager { return s.jobs }
 
 // Store exposes the persistent result store (nil when StoreDir is unset).
 func (s *Server) Store() *store.Store { return s.st }
+
+// Workloads exposes the dynamic workload registry (static SPEC entries
+// plus everything ingested through /v1/workloads).
+func (s *Server) Workloads() *workload.Registry { return s.workloads }
 
 // CacheStats reports response-cache effectiveness.
 func (s *Server) CacheStats() cache.Stats { return s.respCache.Stats() }

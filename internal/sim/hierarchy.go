@@ -161,5 +161,24 @@ func (h *Hierarchy) MemoryTraffic() (reads, writes uint64) {
 // Levels returns the number of cache levels.
 func (h *Hierarchy) Levels() int { return len(h.levels) }
 
+// Snapshot captures every counter as a mergeable HierarchyStats. Accesses
+// is the demand-access count, which equals the L1's total lookups (only
+// demand traffic reaches level 0).
+func (h *Hierarchy) Snapshot() HierarchyStats {
+	s := HierarchyStats{
+		Names:      make([]string, len(h.levels)),
+		Levels:     make([]Stats, len(h.levels)),
+		MemReads:   h.memReads,
+		MemWrites:  h.memWrites,
+		Prefetches: h.prefetches,
+	}
+	for i, c := range h.levels {
+		s.Names[i] = c.Config().Name
+		s.Levels[i] = c.Stats()
+	}
+	s.Accesses = s.Levels[0].Accesses()
+	return s
+}
+
 // LevelName returns the configured name of level i.
 func (h *Hierarchy) LevelName(i int) string { return h.levels[i].Config().Name }

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryDecode feeds arbitrary bytes to the binary decoder: it must
+// reject corruption with an error (never panic or spin), and any stream it
+// does accept must re-encode and re-decode to the same accesses.
+func FuzzBinaryDecode(f *testing.F) {
+	f.Add([]byte(binaryMagic))
+	f.Add(EncodeBinary(nil))
+	f.Add(EncodeBinary([]Access{{Addr: 0x40}, {Addr: 0x80, Write: true}}))
+	f.Add(EncodeBinary(Collect(mustStream(f), 300)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		decoded, err := ReadAll(NewBinaryReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		again, err := ReadAll(NewBinaryReader(bytes.NewReader(EncodeBinary(decoded))))
+		if err != nil {
+			t.Fatalf("re-decoding a canonical re-encode failed: %v", err)
+		}
+		if len(again) != len(decoded) {
+			t.Fatalf("re-decode length %d, want %d", len(again), len(decoded))
+		}
+		for i := range decoded {
+			if decoded[i] != again[i] {
+				t.Fatalf("access %d drifted: %+v vs %+v", i, decoded[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzTextRoundTrip parses arbitrary text; any accepted trace must survive
+// text -> binary -> text byte-identically (after canonical re-rendering),
+// which is the acceptance property the binary codec is specified against.
+func FuzzTextRoundTrip(f *testing.F) {
+	f.Add("R 0x40\nW 0x80\n")
+	f.Add("r 40\r\nw 0XFF\r\n")
+	f.Add("# comment\n\nR 0xffffffffffffffff\n")
+	f.Add("W 0x1ffffffffffffffff\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 1<<18 {
+			return
+		}
+		parsed, err := ReadAll(NewTextReader(bytes.NewReader([]byte(text))))
+		if err != nil {
+			return
+		}
+		var canon bytes.Buffer
+		if err := WriteText(&canon, parsed); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := ReadAll(NewBinaryReader(bytes.NewReader(EncodeBinary(parsed))))
+		if err != nil {
+			t.Fatalf("binary round trip of parsed text failed: %v", err)
+		}
+		var back bytes.Buffer
+		if err := WriteText(&back, decoded); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon.Bytes(), back.Bytes()) {
+			t.Fatal("text -> binary -> text not byte-identical")
+		}
+	})
+}
+
+func mustStream(f *testing.F) Generator {
+	g, err := NewStream(Region{Base: 0, Size: 1 << 20}, 3, 0.25, 99)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return g
+}

@@ -205,13 +205,25 @@ func Measure(p Profile, accesses int, seed int64) (Traffic, error) {
 	measured := accesses - warmup
 	h.Run(g, measured)
 	llc := h.LLCStats()
-	instructions := float64(measured) * 1000 / p.MemOpsPerKiloInstr
-	seconds := instructions / p.IPC / FrequencyHz
+	return Extrapolate(p.Name, llc.Reads-before.Reads, llc.Writes-before.Writes,
+		uint64(measured), p.MemOpsPerKiloInstr, p.IPC), nil
+}
+
+// Extrapolate converts an LLC access count measured over a replay window
+// into continuous-operation rates the way the paper extrapolates Sniper
+// statistics: the window's accesses imply simulated wall-clock time
+// through the core model (memory operations per kiloinstruction and IPC
+// at the Table I clock), and per-copy LLC counts scale to all rate
+// copies. It is the single formula shared by profile calibration, llcsim,
+// and trace ingestion.
+func Extrapolate(name string, llcReads, llcWrites, accesses uint64, memOpsPerKiloInstr, ipc float64) Traffic {
+	instructions := float64(accesses) * 1000 / memOpsPerKiloInstr
+	seconds := instructions / ipc / FrequencyHz
 	return Traffic{
-		Benchmark:    p.Name,
-		ReadsPerSec:  float64(llc.Reads-before.Reads) / seconds * Cores,
-		WritesPerSec: float64(llc.Writes-before.Writes) / seconds * Cores,
-	}, nil
+		Benchmark:    name,
+		ReadsPerSec:  float64(llcReads) / seconds * Cores,
+		WritesPerSec: float64(llcWrites) / seconds * Cores,
+	}
 }
 
 // MeasureAll simulates every benchmark stand-in on the shared worker pool

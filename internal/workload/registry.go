@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+)
+
+// SourceKind says where a workload's traffic numbers came from.
+type SourceKind string
+
+const (
+	// SourceStatic is one of the 23 calibrated SPEC CPU2017 entries.
+	SourceStatic SourceKind = "static"
+	// SourceProfile is an ingested synthetic generator spec.
+	SourceProfile SourceKind = "profile"
+	// SourceTrace is an ingested user-supplied trace.
+	SourceTrace SourceKind = "trace"
+)
+
+// Source is one workload the DSE can evaluate: a name, its derived LLC
+// traffic, and the provenance needed to reproduce or audit the numbers.
+type Source struct {
+	// Name identifies the workload everywhere a benchmark name is
+	// accepted (figures, sweeps, artifact rendering).
+	Name string `json:"name"`
+	// Kind is the provenance class.
+	Kind SourceKind `json:"kind"`
+	// Description is free-form provenance text.
+	Description string `json:"description,omitempty"`
+	// Traffic is the derived continuous-operation LLC load.
+	Traffic Traffic `json:"traffic"`
+	// Accesses is how many accesses the replay measured (0 for static).
+	Accesses uint64 `json:"accesses,omitempty"`
+	// TraceSHA256 content-addresses the canonical .ctrace bytes in the
+	// store for ingested workloads.
+	TraceSHA256 string `json:"trace_sha256,omitempty"`
+	// MemOpsPerKiloInstr and IPC are the core model used to extrapolate
+	// simulated access counts into wall-clock rates.
+	MemOpsPerKiloInstr float64 `json:"mem_ops_per_kilo_instr,omitempty"`
+	// IPC is instructions per cycle of the modeled core.
+	IPC float64 `json:"ipc,omitempty"`
+}
+
+// nameRE bounds workload names to something safe in URLs, filenames, and
+// CSV cells.
+var nameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9._-]{0,63}$`)
+
+// Validate reports structural errors.
+func (s Source) Validate() error {
+	if !nameRE.MatchString(s.Name) {
+		return fmt.Errorf("workload: invalid name %q (want lowercase [a-z0-9._-], max 64 chars)", s.Name)
+	}
+	switch s.Kind {
+	case SourceStatic, SourceProfile, SourceTrace:
+	default:
+		return fmt.Errorf("workload: %s: unknown source kind %q", s.Name, s.Kind)
+	}
+	if s.Traffic.Benchmark != s.Name {
+		return fmt.Errorf("workload: %s: traffic is labeled %q", s.Name, s.Traffic.Benchmark)
+	}
+	return s.Traffic.Validate()
+}
+
+// Registry resolves workload names to traffic, layering dynamically
+// ingested workloads over the 23 static SPEC entries. It is safe for
+// concurrent use; the static layer is immutable and custom entries can
+// only be added, never mutated, so lookups taken at different times for
+// the same name always agree — the property that keeps cached artifact
+// bytes coherent with later renders.
+type Registry struct {
+	mu     sync.RWMutex
+	custom map[string]Source
+}
+
+// NewRegistry returns a registry holding only the static entries.
+func NewRegistry() *Registry {
+	return &Registry{custom: make(map[string]Source)}
+}
+
+// IsStatic reports whether name is one of the built-in SPEC entries.
+func IsStatic(name string) bool {
+	_, err := StaticTrafficFor(name)
+	return err == nil
+}
+
+// Add registers a custom workload. Static names are reserved, and an
+// existing custom name can only be re-added with an identical Source (so
+// replayed ingest jobs and boot-time recovery are idempotent) — anything
+// else is a conflict.
+func (r *Registry) Add(s Source) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Kind == SourceStatic || IsStatic(s.Name) {
+		return fmt.Errorf("workload: %q is a reserved static benchmark name", s.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.custom[s.Name]; ok {
+		if prev != s {
+			return fmt.Errorf("workload: %q already registered with different parameters", s.Name)
+		}
+		return nil
+	}
+	r.custom[s.Name] = s
+	return nil
+}
+
+// Lookup resolves a name against custom entries first, then the static
+// table.
+func (r *Registry) Lookup(name string) (Source, bool) {
+	r.mu.RLock()
+	s, ok := r.custom[name]
+	r.mu.RUnlock()
+	if ok {
+		return s, true
+	}
+	return staticSource(name)
+}
+
+// Traffic resolves a name to its LLC traffic.
+func (r *Registry) Traffic(name string) (Traffic, error) {
+	s, ok := r.Lookup(name)
+	if !ok {
+		return Traffic{}, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	return s.Traffic, nil
+}
+
+// Custom returns the ingested workloads sorted by name.
+func (r *Registry) Custom() []Source {
+	r.mu.RLock()
+	out := make([]Source, 0, len(r.custom))
+	for _, s := range r.custom {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// All returns every workload: the static table in canonical order, then
+// the custom entries sorted by name.
+func (r *Registry) All() []Source {
+	out := make([]Source, 0, 23+len(r.custom))
+	for _, name := range Names() {
+		s, _ := staticSource(name)
+		out = append(out, s)
+	}
+	return append(out, r.Custom()...)
+}
+
+// staticSource materializes a static table entry as a Source.
+func staticSource(name string) (Source, bool) {
+	t, err := StaticTrafficFor(name)
+	if err != nil {
+		return Source{}, false
+	}
+	s := Source{Name: name, Kind: SourceStatic, Traffic: t}
+	if p, err := ProfileByName(name); err == nil {
+		s.Description = p.Description
+		s.MemOpsPerKiloInstr = p.MemOpsPerKiloInstr
+		s.IPC = p.IPC
+	}
+	return s, true
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func customSource(name string) Source {
+	return Source{
+		Name:               name,
+		Kind:               SourceTrace,
+		Description:        "test upload",
+		Traffic:            Traffic{Benchmark: name, ReadsPerSec: 1e6, WritesPerSec: 2e5},
+		Accesses:           100000,
+		TraceSHA256:        "deadbeef",
+		MemOpsPerKiloInstr: 300,
+		IPC:                1.0,
+	}
+}
+
+func TestRegistryAddAndLookup(t *testing.T) {
+	r := NewRegistry()
+	s := customSource("mytrace")
+	if err := r.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup("mytrace")
+	if !ok || got != s {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	tr, err := r.Traffic("mytrace")
+	if err != nil || tr != s.Traffic {
+		t.Fatalf("Traffic = %+v, %v", tr, err)
+	}
+}
+
+func TestRegistryStaticFallback(t *testing.T) {
+	r := NewRegistry()
+	s, ok := r.Lookup("mcf")
+	if !ok || s.Kind != SourceStatic {
+		t.Fatalf("Lookup(mcf) = %+v, %v", s, ok)
+	}
+	want, _ := StaticTrafficFor("mcf")
+	if s.Traffic != want {
+		t.Fatalf("static traffic = %+v, want %+v", s.Traffic, want)
+	}
+	if s.IPC == 0 || s.MemOpsPerKiloInstr == 0 {
+		t.Fatal("static source lost its core model parameters")
+	}
+	if _, err := r.Traffic("no-such-workload"); err == nil {
+		t.Fatal("want unknown-workload error")
+	}
+}
+
+func TestRegistryReservedAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	static := customSource("mcf")
+	if err := r.Add(static); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("adding over a static name: %v", err)
+	}
+
+	s := customSource("mine")
+	if err := r.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	// Identical re-add is idempotent (job retries, boot recovery).
+	if err := r.Add(s); err != nil {
+		t.Fatalf("idempotent re-add: %v", err)
+	}
+	changed := s
+	changed.Traffic.ReadsPerSec *= 2
+	if err := r.Add(changed); err == nil {
+		t.Fatal("want conflict error for a changed re-add")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	bad := []Source{
+		{Name: "UPPER", Kind: SourceTrace, Traffic: Traffic{Benchmark: "UPPER"}},
+		{Name: "", Kind: SourceTrace},
+		{Name: strings.Repeat("a", 65), Kind: SourceTrace},
+		{Name: "ok", Kind: "bogus", Traffic: Traffic{Benchmark: "ok"}},
+		{Name: "ok", Kind: SourceTrace, Traffic: Traffic{Benchmark: "other"}},
+		{Name: "ok", Kind: SourceTrace, Traffic: Traffic{Benchmark: "ok", ReadsPerSec: -1}},
+		{Name: "../evil", Kind: SourceTrace, Traffic: Traffic{Benchmark: "../evil"}},
+	}
+	for _, s := range bad {
+		if err := r.Add(s); err == nil {
+			t.Fatalf("Add(%+v) accepted an invalid source", s)
+		}
+	}
+}
+
+func TestRegistryAllOrder(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zz-last", "aa-first"} {
+		if err := r.Add(customSource(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := r.All()
+	if len(all) != 25 {
+		t.Fatalf("All() = %d entries, want 23 static + 2 custom", len(all))
+	}
+	names := Names()
+	for i, n := range names {
+		if all[i].Name != n {
+			t.Fatalf("All()[%d] = %q, want static order %q", i, all[i].Name, n)
+		}
+	}
+	if all[23].Name != "aa-first" || all[24].Name != "zz-last" {
+		t.Fatalf("custom tail = %q, %q", all[23].Name, all[24].Name)
+	}
+	if got := len(r.Custom()); got != 2 {
+		t.Fatalf("Custom() = %d entries", got)
+	}
+}
+
+func TestExtrapolateMatchesMeasure(t *testing.T) {
+	// Extrapolate is the Measure formula factored out; pin the algebra.
+	tr := Extrapolate("x", 1000, 250, 300000, 300, 1.0)
+	instructions := 300000.0 * 1000 / 300
+	seconds := instructions / 1.0 / FrequencyHz
+	if want := 1000.0 / seconds * Cores; tr.ReadsPerSec != want {
+		t.Fatalf("ReadsPerSec = %g, want %g", tr.ReadsPerSec, want)
+	}
+	if want := 250.0 / seconds * Cores; tr.WritesPerSec != want {
+		t.Fatalf("WritesPerSec = %g, want %g", tr.WritesPerSec, want)
+	}
+}

@@ -11,9 +11,10 @@ import (
 // from Sniper access counts and plots benchmarks by in Figs. 5 and 7.
 type Traffic struct {
 	// Benchmark names the workload.
-	Benchmark string
+	Benchmark string `json:"benchmark"`
 	// ReadsPerSec and WritesPerSec are LLC accesses per second.
-	ReadsPerSec, WritesPerSec float64
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	WritesPerSec float64 `json:"writes_per_sec"`
 }
 
 // WriteReadRatio returns writes per read (0 when idle).

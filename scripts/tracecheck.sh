@@ -1,0 +1,60 @@
+#!/bin/sh
+# End-to-end invariants of the trace toolchain through the built binaries
+# (the unit tests pin the same properties in-process; this script proves
+# the shipped tracegen/llcsim agree over real pipes and files):
+#
+#   1. tracegen's text and binary outputs describe the same accesses:
+#      llcsim renders identical statistics from either.
+#   2. llcsim -dump converts text to the canonical .ctrace encoding, and
+#      tracegen -format binary emits that same canonical form.
+#   3. Sharded replay is bit-identical to serial replay on both formats.
+set -eu
+
+DIR="${TMPDIR:-/tmp}/coldtall-tracecheck.$$"
+mkdir -p "$DIR"
+trap 'rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/tracegen" ./cmd/tracegen
+go build -o "$DIR/llcsim" ./cmd/llcsim
+
+GEN="-bench mcf -n 200000 -seed 42"
+
+# 1. Same accesses through both formats => same simulated statistics.
+"$DIR/tracegen" $GEN > "$DIR/mcf.trace"
+"$DIR/tracegen" $GEN -format binary > "$DIR/mcf.ctrace"
+"$DIR/llcsim" -bench mcf -trace "$DIR/mcf.trace" > "$DIR/out.text"
+"$DIR/llcsim" -bench mcf -trace "$DIR/mcf.ctrace" > "$DIR/out.binary"
+cmp -s "$DIR/out.text" "$DIR/out.binary" || {
+  echo "tracecheck FAIL: text and binary traces simulate differently" >&2
+  diff "$DIR/out.text" "$DIR/out.binary" >&2 || true
+  exit 1
+}
+
+# 2. llcsim -dump on the text trace reproduces tracegen's canonical binary.
+"$DIR/llcsim" -bench mcf -trace "$DIR/mcf.trace" -dump "$DIR/dumped.ctrace" > "$DIR/out.dump"
+cmp -s "$DIR/mcf.ctrace" "$DIR/dumped.ctrace" || {
+  echo "tracecheck FAIL: -dump output is not the canonical .ctrace encoding" >&2
+  exit 1
+}
+cmp -s "$DIR/out.text" "$DIR/out.dump" || {
+  echo "tracecheck FAIL: conversion mode simulated differently" >&2
+  exit 1
+}
+
+# 3. Sharded replay merges to bit-identical statistics.
+"$DIR/llcsim" -bench mcf -trace "$DIR/mcf.ctrace" -shards 16 -workers 4 > "$DIR/out.sharded"
+cmp -s "$DIR/out.binary" "$DIR/out.sharded" || {
+  echo "tracecheck FAIL: sharded replay diverges from serial" >&2
+  diff "$DIR/out.binary" "$DIR/out.sharded" >&2 || true
+  exit 1
+}
+
+# The binary form should also be materially smaller than the text form.
+TEXT_SIZE=$(wc -c < "$DIR/mcf.trace")
+BIN_SIZE=$(wc -c < "$DIR/mcf.ctrace")
+if [ "$BIN_SIZE" -ge "$TEXT_SIZE" ]; then
+  echo "tracecheck FAIL: .ctrace ($BIN_SIZE B) not smaller than text ($TEXT_SIZE B)" >&2
+  exit 1
+fi
+
+echo "tracecheck OK: text/binary/sharded agree; .ctrace $BIN_SIZE B vs text $TEXT_SIZE B"

@@ -18,6 +18,12 @@ import (
 type Study struct {
 	exp *explorer.Explorer
 
+	// workloads resolves benchmark names to LLC traffic. nil means the
+	// static SPEC table only; SetWorkloads layers dynamically ingested
+	// workloads over it (the server wires its registry here so custom
+	// workloads feed every traffic-dependent figure).
+	workloads *workload.Registry
+
 	// parallelism bounds every worker pool the study's sweeps use:
 	// 0 means one worker per available CPU, 1 forces the serial path.
 	parallelism int
@@ -99,7 +105,23 @@ func (s *Study) baseline() (explorer.Evaluation, error) {
 	return s.exp.BaselineEvaluation()
 }
 
-// trafficFor is a lookup helper shared by the figure generators.
-func trafficFor(name string) (workload.Traffic, error) {
+// SetWorkloads attaches a dynamic workload registry: every figure and
+// sweep that resolves a benchmark name by traffic will then also accept
+// ingested custom workloads. A nil registry (the default) resolves the
+// static SPEC table only. Copies made by WithContext share the registry.
+func (s *Study) SetWorkloads(r *workload.Registry) { s.workloads = r }
+
+// Workloads returns the attached registry (nil when only the static
+// table is in play).
+func (s *Study) Workloads() *workload.Registry { return s.workloads }
+
+// trafficFor is the name-to-traffic lookup shared by the figure
+// generators: the attached registry when present (static entries resolve
+// identically through it, so goldens are unaffected), the static table
+// otherwise.
+func (s *Study) trafficFor(name string) (workload.Traffic, error) {
+	if s.workloads != nil {
+		return s.workloads.Traffic(name)
+	}
 	return workload.StaticTrafficFor(name)
 }

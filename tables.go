@@ -135,7 +135,7 @@ func (s *Study) CoolingSweep() ([]CoolingRow, error) {
 		}
 		rows := make([]CoolingRow, 0, len(benches))
 		for _, bench := range benches {
-			tr, err := trafficFor(bench)
+			tr, err := s.trafficFor(bench)
 			if err != nil {
 				return nil, err
 			}

@@ -65,7 +65,7 @@ func (s *Study) ThermalStudy() ([]ThermalRow, error) {
 	const minK, maxK = 77, 387
 	var rows []ThermalRow
 	for _, bench := range BandRepresentatives() {
-		tr, err := trafficFor(bench)
+		tr, err := s.trafficFor(bench)
 		if err != nil {
 			return nil, err
 		}
