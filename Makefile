@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tracecheck fuzz vulncheck bench golden-update
+.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tracecheck prunecheck goldencheck fuzz vulncheck bench searchbench golden-update
 
 build:
 	$(GO) build ./...
@@ -57,13 +57,28 @@ artifactcheck:
 tracecheck:
 	./scripts/tracecheck.sh
 
+# Differential proof of the pruned organization search: the full golden
+# grid through both the exhaustive reference and the pruned path under
+# -race, plus the bound-admissibility property test and the Pareto filter
+# equivalence. Run it whenever internal/array physics or search code moves.
+prunecheck:
+	./scripts/prunecheck.sh
+
+# Golden-artifact gate: every registered artifact re-generated and
+# byte-compared against testdata/golden/ (no -update), so a physics or
+# search change that shifts any number blocks merge explicitly.
+goldencheck:
+	$(GO) test -count=1 -run Golden .
+
 # Fuzz smoke: a bounded run of each trace-facing fuzz target (the codec
-# round-trip, the text parser, and the llcsim replay loop). The corpora
-# seeds cover the parser-hardening cases; CI runs this on every push.
+# round-trip, the text parser, and the llcsim replay loop) plus the
+# pruned-vs-exhaustive search differ. The corpora seeds cover the
+# parser-hardening cases; CI runs this on every push.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzBinaryDecode -fuzztime 30s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzTextRoundTrip -fuzztime 30s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzReplay -fuzztime 30s ./cmd/llcsim/
+	$(GO) test -run '^$$' -fuzz FuzzOptimizeConfig -fuzztime 30s ./internal/array/
 
 # Known-vulnerability scan. Skipped (with a pointer) when govulncheck is
 # not on PATH; the CI job installs it.
@@ -74,11 +89,16 @@ vulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-check: vet fmtcheck race servecheck
+check: vet fmtcheck race servecheck goldencheck
 
 # Sweep-engine speedup benchmarks (serial vs parallel full-grid sweep).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateAll' -benchtime 3x .
+
+# Organization-search benchmarks: pruned vs exhaustive, the per-candidate
+# bound cost, and the staircase vs quadratic Pareto filter.
+searchbench:
+	$(GO) test -run '^$$' -bench 'BenchmarkOptimize|BenchmarkLowerBound|BenchmarkParetoFilter' -benchtime 5x ./internal/array/
 
 # Refresh the golden CSV snapshots after an intentional model change, then
 # review the diff under testdata/golden/ like any other code change.

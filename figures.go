@@ -72,6 +72,17 @@ func (s *Study) Fig3() ([]Fig3Row, error) {
 	}
 	temps := cryo.EffectiveTemperatures()
 	mks := []func(float64) explorer.DesignPoint{explorer.SRAMAt, explorer.EDRAMAt}
+	// Establish each cell family's organization ranking once before the
+	// parallel temperature sweep fans out (see WarmFamiliesContext).
+	sweep := make([]explorer.DesignPoint, 0, len(temps)*len(mks))
+	for _, temp := range temps {
+		for _, mk := range mks {
+			sweep = append(sweep, mk(temp))
+		}
+	}
+	if err := s.exp.WarmFamiliesContext(s.context(), sweep); err != nil {
+		return nil, err
+	}
 	return parallel.MapContext(s.context(), len(temps)*len(mks), s.parallelism, func(i int) (Fig3Row, error) {
 		temp := temps[i/len(mks)]
 		p := mks[i%len(mks)](temp)
@@ -255,6 +266,11 @@ func (s *Study) Fig6() ([]Fig6Row, error) {
 	}
 	points, err := explorer.ENVMSweep()
 	if err != nil {
+		return nil, err
+	}
+	// Establish each eNVM family's organization ranking once before the
+	// parallel layer sweep fans out (see WarmFamiliesContext).
+	if err := s.exp.WarmFamiliesContext(s.context(), points); err != nil {
 		return nil, err
 	}
 	return parallel.MapContext(s.context(), len(points), s.parallelism, func(i int) (Fig6Row, error) {

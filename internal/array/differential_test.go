@@ -1,0 +1,207 @@
+package array
+
+import (
+	"context"
+	"testing"
+
+	"coldtall/internal/cell"
+	"coldtall/internal/stack"
+)
+
+// diffPoint is one design point of the differential grid: the cell,
+// temperature and die-count axes every golden artifact sweeps.
+type diffPoint struct {
+	name string
+	cfg  Config
+}
+
+// differentialGrid enumerates the cell x temperature x layer grid the
+// golden artifacts are built from: the cryo temperature sweep for the
+// volatile cells, the stacking sweep for the 3D studies, and both tentpole
+// corners of each eNVM family at every die count. ~52 points; each costs
+// one exhaustive characterizeAll, so the full grid runs under `make
+// prunecheck` and short mode samples it deterministically.
+func differentialGrid(t testing.TB) []diffPoint {
+	t.Helper()
+	var pts []diffPoint
+	add := func(name string, c cell.Cell, temp float64, dies int) {
+		pts = append(pts, diffPoint{
+			name: name,
+			cfg:  DefaultLLC(c, temp, stack.Config{Dies: dies, Style: stack.TSVStack}),
+		})
+	}
+	// Cryo sweep: planar SRAM and 3T-eDRAM across the Fig. 3 temperatures.
+	for _, temp := range []float64{77, 127, 177, 227, 277, 327, 350, 387} {
+		add("sram", cell.NewSRAM6T(), temp, 1)
+		add("edram3t", cell.NewEDRAM3T(), temp, 1)
+	}
+	// Stacking sweep: cold and warm endpoints at every 3D die count.
+	for _, dies := range []int{2, 4, 8} {
+		for _, temp := range []float64{77, 350} {
+			add("sram", cell.NewSRAM6T(), temp, dies)
+			add("edram3t", cell.NewEDRAM3T(), temp, dies)
+		}
+	}
+	// eNVM tentpole corners at 350 K across the layer sweep.
+	for _, tc := range []cell.Technology{cell.PCM, cell.STTRAM, cell.RRAM} {
+		for _, corner := range cell.Corners() {
+			c, err := cell.Tentpole(tc, corner)
+			if err != nil {
+				t.Fatalf("Tentpole(%v, %v): %v", tc, corner, err)
+			}
+			for _, dies := range []int{1, 2, 4, 8} {
+				add(c.Name, c, 350, dies)
+			}
+		}
+	}
+	return pts
+}
+
+// TestPrunedMatchesExhaustive is the centerpiece differential harness: it
+// replays the golden design grid through both the exhaustive reference and
+// the production pruned search and requires bit-identical Result selection
+// — every field, via struct equality — plus matching error behavior. It
+// runs the grid twice per point where it matters: once cold (memo reset)
+// and once warm (neighbor rankings populated), because the warm-start
+// ordering must not change the selection either. It also asserts the
+// pruned search actually earns its keep: >= 5x fewer Characterize calls
+// than the exhaustive sweep across the grid.
+func TestPrunedMatchesExhaustive(t *testing.T) {
+	pts := differentialGrid(t)
+	if testing.Short() {
+		// Deterministic ~20-point sample covering every grid region.
+		sampled := make([]diffPoint, 0, 20)
+		for i := 0; i < len(pts); i += 3 {
+			sampled = append(sampled, pts[i])
+		}
+		pts = sampled
+	}
+	resetSearchMemo()
+	defer resetSearchMemo()
+
+	ctx := context.Background()
+	var feasibleTotal, characterized, pruned int
+	for _, p := range pts {
+		want, wantErr := optimizeExhaustive(ctx, p.cfg)
+		got, stats, gotErr := OptimizeWithStats(ctx, p.cfg)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s %gK %dd: exhaustive err=%v, pruned err=%v",
+				p.name, p.cfg.Temperature, p.cfg.Stack.Dies, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("%s %gK %dd: error mismatch:\nexhaustive: %v\npruned:     %v",
+					p.name, p.cfg.Temperature, p.cfg.Stack.Dies, wantErr, gotErr)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("%s %gK %dd: pruned selection differs from exhaustive\nexhaustive: %+v\npruned:     %+v\nstats: %+v",
+				p.name, p.cfg.Temperature, p.cfg.Stack.Dies, want, got, stats)
+		}
+		feasibleTotal += stats.Pruned + stats.Characterized
+		characterized += stats.Characterized
+		pruned += stats.Pruned
+	}
+	if feasibleTotal == 0 {
+		t.Fatal("differential grid produced no feasible candidates")
+	}
+	t.Logf("grid: %d points, %d feasible candidates, %d characterized, %d pruned (prune rate %.1f%%, %.1fx fewer Characterize calls)",
+		len(pts), feasibleTotal, characterized, pruned,
+		100*float64(pruned)/float64(feasibleTotal),
+		float64(feasibleTotal)/float64(characterized))
+	if characterized*5 > feasibleTotal {
+		t.Errorf("pruned search characterized %d of %d feasible candidates — less than the required 5x reduction",
+			characterized, feasibleTotal)
+	}
+}
+
+// TestPrunedMatchesExhaustiveWarm re-solves a temperature/die neighborhood
+// so every point after the first hits the family memo, and requires the
+// warm-started searches to still match the exhaustive reference exactly.
+func TestPrunedMatchesExhaustiveWarm(t *testing.T) {
+	resetSearchMemo()
+	defer resetSearchMemo()
+	ctx := context.Background()
+	for _, temp := range []float64{350, 327, 300, 277, 250} {
+		cfg := DefaultLLC(cell.NewEDRAM3T(), temp, stack.Planar())
+		want, err := optimizeExhaustive(ctx, cfg)
+		if err != nil {
+			t.Fatalf("exhaustive at %gK: %v", temp, err)
+		}
+		got, stats, err := OptimizeWithStats(ctx, cfg)
+		if err != nil {
+			t.Fatalf("pruned at %gK: %v", temp, err)
+		}
+		if got != want {
+			t.Errorf("warm-started selection at %gK differs:\nexhaustive: %+v\npruned:     %+v", temp, want, got)
+		}
+		if temp != 350 && !stats.WarmStart {
+			t.Errorf("at %gK: expected a memo warm start after solving the 350K neighbor", temp)
+		}
+	}
+}
+
+// TestParetoDifferential pins ParetoContext (fast dominance filter over the
+// shared characterizeAll sweep) against the quadratic reference filter on a
+// spread of grid points: identical front sets in identical order.
+func TestParetoDifferential(t *testing.T) {
+	pts := differentialGrid(t)
+	// Pareto costs two full characterizeAll sweeps per point; keep to a
+	// representative spread across cells, temperatures and die counts.
+	idx := []int{0, 1, 9, 16, 21, 30, 44}
+	if testing.Short() {
+		idx = idx[:3]
+	}
+	ctx := context.Background()
+	for _, i := range idx {
+		p := pts[i]
+		front, err := ParetoContext(ctx, p.cfg)
+		if err != nil {
+			t.Fatalf("Pareto(%s %gK %dd): %v", p.name, p.cfg.Temperature, p.cfg.Stack.Dies, err)
+		}
+		var all []Result
+		for _, r := range characterizeAll(ctx, p.cfg, candidates()) {
+			if r != nil {
+				all = append(all, *r)
+			}
+		}
+		want := paretoFrontQuadratic(all)
+		if len(front) != len(want) {
+			t.Fatalf("%s %gK %dd: front size %d, quadratic reference %d",
+				p.name, p.cfg.Temperature, p.cfg.Stack.Dies, len(front), len(want))
+		}
+		for j := range front {
+			if front[j] != want[j] {
+				t.Errorf("%s %gK %dd: front[%d] differs:\nfast:      %+v\nquadratic: %+v",
+					p.name, p.cfg.Temperature, p.cfg.Stack.Dies, j, front[j], want[j])
+			}
+		}
+	}
+}
+
+// TestForceExhaustiveEnv pins the COLDTALL_SEARCH=exhaustive escape hatch:
+// with the flag forced, OptimizeWithStats must take the reference path (no
+// pruning in stats) and still select the identical result.
+func TestForceExhaustiveEnv(t *testing.T) {
+	old := forceExhaustive
+	defer func() { forceExhaustive = old }()
+
+	cfg := DefaultLLC(cell.NewSRAM6T(), 350, stack.Planar())
+	forceExhaustive = false
+	pruned, _, err := OptimizeWithStats(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("pruned: %v", err)
+	}
+	forceExhaustive = true
+	ref, stats, err := OptimizeWithStats(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("forced exhaustive: %v", err)
+	}
+	if stats.Pruned != 0 || stats.Characterized != 0 {
+		t.Errorf("forced exhaustive path reported pruned-search stats: %+v", stats)
+	}
+	if pruned != ref {
+		t.Errorf("escape hatch changed the selection:\npruned:     %+v\nexhaustive: %+v", pruned, ref)
+	}
+}

@@ -27,6 +27,15 @@ func newHTree(footprintM2, banksPerDie float64, corner tech.DeviceCorner, wireSc
 	if err != nil {
 		return htree{}, err
 	}
+	return newHTreeWithWire(footprintM2, banksPerDie, corner, w), nil
+}
+
+// newHTreeWithWire is newHTree with the global wire supplied by the caller.
+// Wire construction pays the Bloch–Grüneisen resistivity integral, which
+// depends only on temperature and node — the pruned search's bound context
+// precomputes it once per configuration and builds the per-candidate tree
+// through this path, keeping the tree bit-identical to newHTree's.
+func newHTreeWithWire(footprintM2, banksPerDie float64, corner tech.DeviceCorner, w tech.Wire) htree {
 	side := math.Sqrt(footprintM2)
 	hops := int(math.Max(2, math.Ceil(math.Log2(math.Max(1, banksPerDie)))+1))
 	segs := make([]float64, hops)
@@ -35,7 +44,7 @@ func newHTree(footprintM2, banksPerDie float64, corner tech.DeviceCorner, wireSc
 		segs[i] = l
 		l /= 2
 	}
-	return htree{segments: segs, hops: hops, wire: w, corner: corner}, nil
+	return htree{segments: segs, hops: hops, wire: w, corner: corner}
 }
 
 // bufferR returns the hop driver resistance at the evaluated corner.
@@ -89,8 +98,14 @@ func newInBankRoute(footprintM2, banksPerDie float64, corner tech.DeviceCorner, 
 	if err != nil {
 		return inBankRoute{}, err
 	}
+	return newInBankRouteWithWire(footprintM2, banksPerDie, corner, w), nil
+}
+
+// newInBankRouteWithWire is newInBankRoute with the intermediate wire
+// supplied by the caller (see newHTreeWithWire).
+func newInBankRouteWithWire(footprintM2, banksPerDie float64, corner tech.DeviceCorner, w tech.Wire) inBankRoute {
 	bankSide := math.Sqrt(footprintM2 / math.Max(1, banksPerDie))
-	return inBankRoute{length: bankSide, wire: w, corner: corner}, nil
+	return inBankRoute{length: bankSide, wire: w, corner: corner}
 }
 
 // delay returns the one-way in-bank routing delay. The span is driven at

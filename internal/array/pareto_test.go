@@ -1,0 +1,85 @@
+package array
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestParetoFilterEquivalence pins the O(n log n) staircase dominance
+// filter against the original quadratic filter on adversarial synthetic
+// populations: values drawn from tiny discrete sets so ties, exact
+// duplicates and degenerate staircases (all-equal axes) all occur. The
+// real-sweep equivalence is covered by TestParetoDifferential; this test
+// covers the corner cases a physical sweep rarely produces.
+func TestParetoFilterEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	levels := []float64{1, 2, 3}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		all := make([]Result, n)
+		for i := range all {
+			// Only the three objective fields matter to dominance; Org
+			// disambiguates otherwise-identical entries so the test can
+			// detect ordering differences between the filters.
+			all[i] = Result{
+				Org:         Organization{Banks: 1, Rows: i, Cols: i, ColumnMux: 1},
+				ReadLatency: levels[rng.Intn(len(levels))],
+				ReadEnergy:  levels[rng.Intn(len(levels))],
+				WriteEnergy: levels[rng.Intn(len(levels))],
+				FootprintM2: levels[rng.Intn(len(levels))],
+			}
+		}
+		want := paretoFrontQuadratic(all)
+		dom := dominatedFlags(all)
+		var got []Result
+		for i, a := range all {
+			if !dom[i] {
+				got = append(got, a)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].ReadLatency < got[j].ReadLatency })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fast filter kept %d, quadratic kept %d\npopulation: %+v", trial, len(got), len(want), all)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: front[%d] differs\nfast:      %+v\nquadratic: %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStaircase exercises the 2D minima structure directly.
+func TestStaircase(t *testing.T) {
+	var s staircase
+	if s.covers(1, 1) {
+		t.Fatal("empty staircase covers a point")
+	}
+	s.insert(2, 2)
+	cases := []struct {
+		e, f float64
+		want bool
+	}{
+		{2, 2, true},    // the inserted point itself
+		{3, 3, true},    // dominated corner
+		{2, 1, false},   // better footprint
+		{1, 3, false},   // better energy
+		{1.9, 5, false}, // energy below every entry
+	}
+	for _, c := range cases {
+		if got := s.covers(c.e, c.f); got != c.want {
+			t.Errorf("covers(%g, %g) = %v, want %v", c.e, c.f, got, c.want)
+		}
+	}
+	// A strictly better point supersedes the old staircase entry.
+	s.insert(1, 1)
+	if !s.covers(2, 2) || !s.covers(1, 1) || s.covers(0.5, 0.5) {
+		t.Errorf("staircase after superseding insert: %+v", s)
+	}
+	// Incomparable points coexist.
+	s.insert(0.5, 3)
+	if !s.covers(0.5, 3) || s.covers(0.5, 0.9) {
+		t.Errorf("staircase after incomparable insert: %+v", s)
+	}
+}

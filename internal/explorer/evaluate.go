@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -344,7 +345,9 @@ func (e *Explorer) EvaluateAllContext(ctx context.Context, points []DesignPoint,
 		out[i] = make([]Evaluation, len(traffics))
 	}
 	cols := len(traffics)
-	err := parallel.ForEachContext(ctx, len(points)*cols, e.Workers, func(cell int) error {
+	order := sweepOrder(points, cols)
+	err := parallel.ForEachContext(ctx, len(points)*cols, e.Workers, func(k int) error {
+		cell := order[k]
 		i, j := cell/cols, cell%cols
 		ev, err := e.EvaluateContext(ctx, points[i], traffics[j])
 		if err != nil {
@@ -357,6 +360,79 @@ func (e *Explorer) EvaluateAllContext(ctx context.Context, points []DesignPoint,
 		return nil, err
 	}
 	return out, nil
+}
+
+// WarmFamiliesContext characterizes one representative per sweep family
+// (the first member in input order) on the worker pool, so a subsequent
+// parallel sweep over the same points finds every family's organization
+// ranking already established and the array layer's pruned search
+// re-verifies neighbors instead of cold-starting each one concurrently.
+// Every representative is a member of the sweep itself, so the pass adds
+// no design points — it only fills the characterization cache in an order
+// that maximizes warm starts. Results are unaffected either way; this is
+// purely a scheduling optimization.
+func (e *Explorer) WarmFamiliesContext(ctx context.Context, points []DesignPoint) error {
+	seen := make(map[string]bool, len(points))
+	var reps []DesignPoint
+	for _, p := range points {
+		k := sweepFamilyKey(p)
+		if !seen[k] {
+			seen[k] = true
+			reps = append(reps, p)
+		}
+	}
+	return parallel.ForEachContext(ctx, len(reps), e.Workers, func(i int) error {
+		_, err := e.CharacterizeContext(ctx, reps[i])
+		return err
+	})
+}
+
+// sweepFamilyKey groups design points that differ only along the delta
+// axes of the array search — temperature and die count. It deliberately
+// mirrors the family key of the array package's ranking memo: solving one
+// member seeds the organization ordering for the rest.
+func sweepFamilyKey(p DesignPoint) string {
+	return fmt.Sprintf("%s|%v|%d|%s|%v", p.Cell.Name, p.Cell.Tech, p.Capacity(), p.Node.Name, p.Style)
+}
+
+// sweepOrder returns a dispatch permutation of the points×traffics grid
+// that walks each characterization family contiguously, members ordered by
+// (dies, temperature) so consecutive dispatches are neighboring design
+// points. The array layer's pruned search then re-verifies a warm ranking
+// instead of cold-starting per point. Only dispatch ORDER changes: every
+// cell still lands at its input position, so the output grid — and every
+// golden artifact derived from it — is byte-identical to the naive walk.
+func sweepOrder(points []DesignPoint, cols int) []int {
+	type member struct{ point, seq int }
+	families := make(map[string][]member)
+	var keys []string
+	for i, p := range points {
+		k := sweepFamilyKey(p)
+		if _, seen := families[k]; !seen {
+			keys = append(keys, k)
+		}
+		families[k] = append(families[k], member{point: i, seq: i})
+	}
+	order := make([]int, 0, len(points)*cols)
+	for _, k := range keys {
+		ms := families[k]
+		sort.SliceStable(ms, func(a, b int) bool {
+			pa, pb := points[ms[a].point], points[ms[b].point]
+			if pa.Dies != pb.Dies {
+				return pa.Dies < pb.Dies
+			}
+			if pa.Temperature != pb.Temperature {
+				return pa.Temperature < pb.Temperature
+			}
+			return ms[a].seq < ms[b].seq
+		})
+		for _, m := range ms {
+			for j := 0; j < cols; j++ {
+				order = append(order, m.point*cols+j)
+			}
+		}
+	}
+	return order
 }
 
 // ReferenceBenchmark is the normalization workload of the paper's SPEC
