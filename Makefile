@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tracecheck prunecheck goldencheck fuzz vulncheck bench searchbench golden-update
+.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tracecheck prunecheck clustercheck goldencheck fuzz vulncheck bench searchbench golden-update
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,17 @@ tracecheck:
 # equivalence. Run it whenever internal/array physics or search code moves.
 prunecheck:
 	./scripts/prunecheck.sh
+
+# The distributed-execution gate: the cluster package (lease lifecycle,
+# consistent-hash ring, in-process differential byte-identity incl. the
+# kill-a-worker-mid-sweep scenario) under the race detector, then the
+# end-to-end script — coordinator + two workers over real HTTP running a
+# Table II job byte-diffed against a single-process server, repeated with
+# a mid-lease SIGKILL and a requeue.
+clustercheck:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/cluster/... ./internal/server/...
+	./scripts/clustercheck.sh
 
 # Golden-artifact gate: every registered artifact re-generated and
 # byte-compared against testdata/golden/ (no -update), so a physics or

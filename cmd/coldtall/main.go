@@ -33,6 +33,8 @@
 //	coldtall export -dir out
 //	coldtall serve -addr :8080       # HTTP DSE service (see internal/server)
 //	coldtall serve -store-dir /var/coldtall  # + persistent store, warm restarts
+//	coldtall serve -coordinator      # + distributed execution coordinator
+//	coldtall worker -server http://host:8080  # stateless cluster worker replica
 //
 // Async jobs (against a running serve instance):
 //
@@ -114,13 +116,19 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	timeout := fs.Duration("timeout", 60*time.Second, "serve: per-request compute deadline")
 	storeDir := fs.String("store-dir", "", "serve: persistent result-store directory (empty = in-memory only)")
 	jobWorkers := fs.Int("job-workers", 0, "serve: async job worker pool size (0 = one per CPU)")
-	serverURL := fs.String("server", "http://localhost:8080", "jobs: base URL of a running serve instance")
-	poll := fs.Duration("poll", 250*time.Millisecond, "jobs wait: status poll interval")
+	serverURL := fs.String("server", "http://localhost:8080", "jobs/worker: base URL of a running serve instance")
+	poll := fs.Duration("poll", 250*time.Millisecond, "jobs wait / worker: status or lease poll interval")
 	format := fs.String("format", "table", "artifacts: output format (table, csv)")
+	coordinator := fs.Bool("coordinator", false, "serve: enable the distributed-execution coordinator (/v1/cluster routes)")
+	workerToken := fs.String("worker-token", "", "serve/worker: shared auth token for the /v1/cluster surface")
+	leaseTTL := fs.Duration("lease-ttl", 0, "serve: coordinator lease TTL before expiry+requeue (0 = default 30s)")
+	leaseUnits := fs.Int("lease-units", 0, "serve: max grid points per lease (0 = auto: whole families on one core)")
+	workerName := fs.String("name", "", "worker: stable display name reported to the coordinator")
+	throttle := fs.Duration("throttle", 0, "worker: sleep before each unit evaluation (testing/demo)")
 
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, artifacts, eval, export, sweep, pareto, serve, jobs, workloads, all)")
+		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, artifacts, eval, export, sweep, pareto, serve, worker, jobs, workloads, all)")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -147,6 +155,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		storeDir: *storeDir, jobWorkers: *jobWorkers,
 		server: *serverURL, poll: *poll,
 		format: *format, args: positional(fs.Args()),
+		coordinator: *coordinator, workerToken: *workerToken,
+		leaseTTL: *leaseTTL, leaseUnits: *leaseUnits,
+		workerName: *workerName, throttle: *throttle,
 	}); err != nil {
 		if errors.Is(err, errUnknownSubcommand) {
 			return err
@@ -171,6 +182,12 @@ type cliFlags struct {
 	server             string
 	poll               time.Duration
 	format             string
+	coordinator        bool
+	workerToken        string
+	leaseTTL           time.Duration
+	leaseUnits         int
+	workerName         string
+	throttle           time.Duration
 	args               positional
 }
 
@@ -250,6 +267,8 @@ func dispatch(ctx context.Context, cmd string, study *coldtall.Study, w io.Write
 		return pareto(ctx, w, f)
 	case "serve":
 		return serveHTTP(ctx, study, w, f)
+	case "worker":
+		return runClusterWorker(ctx, w, f)
 	case "jobs":
 		return runJobs(ctx, w, f)
 	case "workloads":
@@ -329,9 +348,16 @@ func serveHTTP(ctx context.Context, study *coldtall.Study, w io.Writer, f cliFla
 		Timeout:      f.timeout,
 		StoreDir:     f.storeDir,
 		JobWorkers:   f.jobWorkers,
+		Coordinator:  f.coordinator,
+		WorkerToken:  f.workerToken,
+		LeaseTTL:     f.leaseTTL,
+		LeaseUnits:   f.leaseUnits,
 	})
 	if err != nil {
 		return err
+	}
+	if f.coordinator {
+		fmt.Fprintf(w, "coordinator enabled: workers pull leases from %s/v1/cluster\n", f.addr)
 	}
 	if f.storeDir != "" {
 		fmt.Fprintf(w, "serving the DSE API on %s, persisting to %s (SIGINT/SIGTERM to drain)\n", f.addr, f.storeDir)

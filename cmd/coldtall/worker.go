@@ -1,0 +1,35 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"coldtall/internal/cluster"
+)
+
+// runClusterWorker implements the worker subcommand: a stateless replica
+// that registers against a `serve -coordinator` instance, pulls leased
+// grid ranges, evaluates them, and acks the results until interrupted.
+//
+//	coldtall serve -coordinator -store-dir /var/coldtall &
+//	coldtall worker -server http://localhost:8080 &
+//	coldtall worker -server http://localhost:8080 &
+func runClusterWorker(ctx context.Context, w io.Writer, f cliFlags) error {
+	fmt.Fprintf(w, "worker pulling leases from %s (SIGINT/SIGTERM to stop)\n", f.server)
+	err := cluster.RunWorker(ctx, cluster.WorkerOptions{
+		Coordinator: f.server,
+		Token:       f.workerToken,
+		Name:        f.workerName,
+		Poll:        f.poll,
+		Throttle:    f.throttle,
+		Logger:      log.New(os.Stderr, "coldtall-worker ", log.LstdFlags|log.Lmicroseconds),
+	})
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}

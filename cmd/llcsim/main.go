@@ -37,7 +37,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	tracePath := fs.String("trace", "-", "trace file path (text or .ctrace, autodetected), or - for stdin")
 	copies := fs.Int("copies", 8, "SPECrate copies sharing the LLC")
 	bench := fs.String("bench", "", "benchmark profile for time extrapolation (IPC, memory intensity); empty reports counts only")
-	shards := fs.Int("shards", 1, "set-bank shards replayed in parallel (power of two; 1 = serial)")
+	shards := fs.Int("shards", 0, "set-bank shards replayed in parallel (power of two; 1 = serial; 0 = auto: serial on one core, sized to the pool otherwise)")
 	workers := fs.Int("workers", 0, "worker goroutines for sharded replay (0 = one per CPU)")
 	dump := fs.String("dump", "", "also write the trace in canonical .ctrace binary form to this path")
 	if err := fs.Parse(args); err != nil {

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the coordinator's worker-facing HTTP surface, with
+// routes registered under their full /v1/cluster/ paths so the server can
+// mount it directly (behind its token-auth middleware).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cluster/register", c.handleRegister)
+	mux.HandleFunc("/v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/v1/cluster/lease", c.handleLease)
+	mux.HandleFunc("/v1/cluster/ack", c.handleAck)
+	mux.HandleFunc("/v1/cluster/status", c.handleStatus)
+	return mux
+}
+
+func clusterJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func clusterError(w http.ResponseWriter, code int, err error) {
+	clusterJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// decodeInto parses a JSON POST body, answering false (response already
+// written) on method or decode failures.
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		clusterError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		clusterError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	resp, err := c.register(req)
+	if err != nil {
+		// A model-version mismatch is a deployment conflict, not a retryable
+		// fault: the worker must be rebuilt against the coordinator's physics.
+		clusterError(w, http.StatusConflict, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if err := c.heartbeat(req.WorkerID); err != nil {
+		clusterError(w, http.StatusNotFound, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	lease, err := c.grantLease(req.WorkerID)
+	if err != nil {
+		clusterError(w, http.StatusNotFound, err)
+		return
+	}
+	if lease == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	clusterJSON(w, http.StatusOK, lease)
+}
+
+func (c *Coordinator) handleAck(w http.ResponseWriter, r *http.Request) {
+	var req AckRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	resp, err := c.ack(req)
+	switch {
+	case errors.Is(err, errUnknownLease):
+		// The lease was superseded (expired and completed elsewhere, or its
+		// run ended). 410 tells the worker to drop it and move on.
+		clusterError(w, http.StatusGone, err)
+	case err != nil:
+		clusterError(w, http.StatusBadRequest, err)
+	default:
+		clusterJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		clusterError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	clusterJSON(w, http.StatusOK, c.Stats())
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring mapping design-point family keys to
+// worker IDs. Each worker owns vnodesPerWorker virtual nodes so load
+// spreads evenly; a family hashes to the first virtual node at or after
+// it on the circle. Ownership is a scheduling preference only — it keeps
+// each worker's warm characterization caches disjoint across families —
+// and the coordinator peer-fills (hands a family's lease to whoever asks)
+// when the owner is busy or gone, so ownership never gates progress and
+// never affects results.
+type ring struct {
+	vnodes []vnode
+}
+
+type vnode struct {
+	hash   uint64
+	worker string
+}
+
+const vnodesPerWorker = 64
+
+// buildRing constructs the ring over the given worker IDs. An empty
+// worker set yields an empty ring whose owner() is always "".
+func buildRing(workers []string) *ring {
+	r := &ring{}
+	for _, w := range workers {
+		for i := 0; i < vnodesPerWorker; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(fmt.Sprintf("%s#%d", w, i)), worker: w})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		return r.vnodes[i].worker < r.vnodes[j].worker
+	})
+	return r
+}
+
+// owner returns the worker owning key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.vnodes[i].worker
+}
+
+// hash64 is FNV-1a pushed through a 64-bit finalizer. Raw FNV over the
+// short, near-identical strings hashed here ("w1#0".."w1#63", family
+// keys differing in one field) leaves its outputs in tight arithmetic
+// bands — every vnode of a worker lands in one contiguous region of the
+// circle and a single worker ends up owning essentially every family.
+// The multiply-xor-shift finalizer (splitmix64's) avalanches the low-bit
+// differences across the whole word, which is what makes the ring spread.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func familyKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("SRAM|sram|16777216|22|TSV|%d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministic: the same worker set yields the same assignment
+// every time (build order must not matter — the coordinator rebuilds the
+// ring from a sorted ID list on every membership change).
+func TestRingDeterministic(t *testing.T) {
+	a := buildRing([]string{"w1", "w2", "w3"})
+	b := buildRing([]string{"w1", "w2", "w3"})
+	for _, k := range familyKeys(100) {
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("key %q: owner %q vs %q across identical rings", k, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+// TestRingSpreadsFamilies: with enough families, every worker owns some —
+// the property that keeps warm characterization caches disjoint.
+func TestRingSpreadsFamilies(t *testing.T) {
+	workers := []string{"w1", "w2", "w3"}
+	r := buildRing(workers)
+	got := make(map[string]int)
+	for _, k := range familyKeys(200) {
+		o := r.owner(k)
+		valid := false
+		for _, w := range workers {
+			if o == w {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("key %q assigned to unknown worker %q", k, o)
+		}
+		got[o]++
+	}
+	for _, w := range workers {
+		if got[w] == 0 {
+			t.Errorf("worker %s owns no families out of 200 (distribution %v)", w, got)
+		}
+	}
+}
+
+// TestRingConsistencyUnderMembershipChange: removing one worker only
+// moves the families it owned; every other assignment is untouched, so a
+// worker loss does not cold-start the whole cluster's caches.
+func TestRingConsistencyUnderMembershipChange(t *testing.T) {
+	full := buildRing([]string{"w1", "w2", "w3"})
+	reduced := buildRing([]string{"w1", "w2"})
+	for _, k := range familyKeys(200) {
+		before := full.owner(k)
+		after := reduced.owner(k)
+		if before != "w3" && after != before {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, before, after)
+		}
+		if before == "w3" && after != "w1" && after != "w2" {
+			t.Fatalf("key %q reassigned to unknown worker %q", k, after)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if o := buildRing(nil).owner("anything"); o != "" {
+		t.Fatalf(`empty ring owner = %q, want ""`, o)
+	}
+}

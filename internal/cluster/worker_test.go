@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"coldtall/internal/job"
+)
+
+// TestJitterDelaySchedule pins the worker's retry schedule exactly: a
+// seeded source must reproduce these delays byte-for-byte (math/rand's
+// generator is covered by the Go 1 compatibility promise), which is what
+// makes flake reports about retry storms reproducible.
+func TestJitterDelaySchedule(t *testing.T) {
+	const base, max = 100 * time.Millisecond, 5 * time.Second
+	want := []time.Duration{
+		57645802,
+		135502188,
+		218722916,
+		542008091,
+		991376923,
+		2189901870,
+		4890811900,
+		4254322022,
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i, w := range want {
+		if got := jitterDelay(i+1, base, max, rng); got != w {
+			t.Errorf("attempt %d: delay = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestJitterDelayBounds: every jittered delay lands in the top half of the
+// base schedule ("equal jitter" — at least half the deterministic delay,
+// never more than the whole of it), and the base schedule is job.Backoff
+// itself, so the worker and the manager retry on the same curve.
+func TestJitterDelayBounds(t *testing.T) {
+	const base, max = 50 * time.Millisecond, 2 * time.Second
+	rng := rand.New(rand.NewSource(42))
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := job.Backoff(attempt, base, max)
+		for trial := 0; trial < 50; trial++ {
+			got := jitterDelay(attempt, base, max, rng)
+			if got < d/2 || got > d {
+				t.Fatalf("attempt %d trial %d: delay %v outside [%v, %v]", attempt, trial, got, d/2, d)
+			}
+		}
+		if d > max {
+			t.Fatalf("attempt %d: base schedule %v exceeds cap %v", attempt, d, max)
+		}
+	}
+}
+
+// TestJitterDelayNilRand: without a source the schedule degrades to the
+// deterministic job.Backoff curve rather than crashing.
+func TestJitterDelayNilRand(t *testing.T) {
+	const base, max = 100 * time.Millisecond, 5 * time.Second
+	for attempt := 1; attempt <= 8; attempt++ {
+		want := job.Backoff(attempt, base, max)
+		if got := jitterDelay(attempt, base, max, nil); got != want {
+			t.Errorf("attempt %d: nil-rand delay = %v, want %v", attempt, got, want)
+		}
+	}
+}

@@ -36,8 +36,12 @@ const (
 	DefaultMemOpsPerKiloInstr = 330
 	DefaultIPC                = 1.0
 
-	// DefaultShards matches the hierarchy's bank structure without
-	// hitting the 64-shard L1D ceiling.
+	// DefaultShards caps how far the automatic shard selection scales on
+	// wide machines: it matches the hierarchy's bank structure without
+	// hitting the 64-shard L1D ceiling. The actual shard count for
+	// Options.Shards == 0 comes from sim.AutoShards — serial on a
+	// single-worker pool (no merge tax on one vCPU), a power of two sized
+	// to the pool otherwise.
 	DefaultShards = 16
 )
 
@@ -196,8 +200,9 @@ type Options struct {
 	// Store, when set, persists the canonical trace bytes (content-
 	// addressed) and the workload record (by name) for boot recovery.
 	Store *store.Store
-	// Shards and Workers size the replay engine; zero selects
-	// DefaultShards and one worker per CPU.
+	// Shards and Workers size the replay engine; zero shards auto-selects
+	// (serial on a one-worker pool, a power of two sized to the pool
+	// otherwise, at most DefaultShards), zero workers means one per CPU.
 	Shards  int
 	Workers int
 	// OnProgress observes replay progress in accesses.
@@ -270,7 +275,14 @@ func Run(ctx context.Context, spec Spec, opts Options) (Result, error) {
 
 	shards := opts.Shards
 	if shards == 0 {
-		shards = DefaultShards
+		// Auto-size to the worker pool: serial replay on one core (the
+		// sharded engine's partition/merge tax buys nothing there), capped
+		// at the hierarchy's bank structure on wide machines. Shard count
+		// never changes counters, so ingested traffic is identical.
+		shards = sim.AutoShards(sim.TableIConfig(), opts.Workers)
+		if shards > DefaultShards {
+			shards = DefaultShards
+		}
 	}
 	eng, err := sim.NewSharded(sim.TableIConfig(), shards, opts.Workers)
 	if err != nil {

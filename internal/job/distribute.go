@@ -1,0 +1,64 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"coldtall/internal/array"
+	"coldtall/internal/explorer"
+	"coldtall/internal/workload"
+)
+
+// ErrNoWorkers reports that a Distributor has no live workers to lease
+// work to. The manager treats it as "compute locally instead": a sweep or
+// artifact job falls back to the in-process pool, so a coordinator with an
+// empty worker table degrades to exactly the single-process behavior.
+// Distributors may return it wrapped (errors.Is matches).
+var ErrNoWorkers = errors.New("job: no cluster workers available")
+
+// DistCell is one distributable sweep cell: a design point under one
+// benchmark's traffic. Both halves travel by value so workers stay
+// stateless — an ingested workload's traffic is resolved at the
+// coordinator and shipped inside the lease, never looked up remotely.
+type DistCell struct {
+	Point   explorer.DesignPoint
+	Traffic workload.Traffic
+}
+
+// Distributor fans job work units out to remote workers. The cluster
+// coordinator implements it; the manager consults it (when configured)
+// before falling back to the in-process pool.
+//
+// Both methods block until every unit has landed or the run fails. save
+// callbacks fire exactly once per completed unit, possibly concurrently
+// and in any order, and always before the method returns — partial
+// progress ahead of an error is therefore preserved (the manager
+// checkpoints each saved cell, so a failed distribution resumes without
+// recomputing what already landed).
+type Distributor interface {
+	// DistributeCells evaluates cells remotely; save(i, ev) lands the
+	// evaluation of cells[i].
+	DistributeCells(ctx context.Context, jobID string, cells []DistCell, save func(i int, ev explorer.Evaluation)) error
+	// DistributeChars characterizes points remotely; save(i, r) lands the
+	// array characterization of points[i].
+	DistributeChars(ctx context.Context, jobID string, points []explorer.DesignPoint, save func(i int, r array.Result)) error
+}
+
+// Backoff is the capped exponential retry schedule shared by the job
+// manager's per-cell retries and the cluster worker's lease-fetch/ack
+// loop: base doubling per completed attempt, never above max. attempt
+// counts completed failures (attempt 1 waits base).
+func Backoff(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -80,11 +81,17 @@ func (s *Server) observe(next http.Handler) http.Handler {
 }
 
 // limitBody caps request bodies at MaxBodyBytes; decoding an oversized body
-// surfaces *http.MaxBytesError, which the handlers map to 413.
+// surfaces *http.MaxBytesError, which the handlers map to 413. The cluster
+// surface gets a higher floor: a lease ack legitimately carries one gob
+// result per unit, which outgrows the 1 MiB default on large leases.
 func (s *Server) limitBody(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := s.cfg.MaxBodyBytes
+		if s.coord != nil && strings.HasPrefix(r.URL.Path, "/v1/cluster/") && limit < clusterMaxBody {
+			limit = clusterMaxBody
+		}
 		if r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
 		}
 		next.ServeHTTP(w, r)
 	})

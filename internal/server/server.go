@@ -30,6 +30,11 @@
 //	                             ?format=csv / Accept: text/csv)
 //	GET  /v1/figures/{n}         alias for /v1/artifacts/fig{n} (n in 1,3,4,5,6,7)
 //	GET  /v1/tables/{n}          alias for /v1/artifacts/table{n} (n in 1,2)
+//	POST /v1/cluster/register    (with -coordinator) worker replica joins
+//	POST /v1/cluster/heartbeat   worker liveness ping
+//	POST /v1/cluster/lease       worker pulls a leased grid range
+//	POST /v1/cluster/ack         worker returns lease results
+//	GET  /v1/cluster/status      worker table + lease statistics
 //	GET  /healthz                liveness (503 while draining)
 //	GET  /metrics                Prometheus text exposition
 //	GET  /debug/pprof/           runtime profiles
@@ -52,6 +57,7 @@ import (
 
 	"coldtall"
 	"coldtall/internal/cache"
+	"coldtall/internal/cluster"
 	"coldtall/internal/explorer"
 	"coldtall/internal/ingest"
 	"coldtall/internal/job"
@@ -87,6 +93,18 @@ type Config struct {
 	StoreDir string
 	// JobWorkers bounds each async job's worker pool (0 = one per CPU).
 	JobWorkers int
+	// Coordinator enables distributed sweep execution: the /v1/cluster/*
+	// routes come up for stateless worker replicas, and async jobs lease
+	// their grids across the cluster (falling back to local compute when
+	// no workers are registered). Results are byte-identical either way.
+	Coordinator bool
+	// WorkerToken, when set, is required in the X-Coldtall-Worker-Token
+	// header of every /v1/cluster request.
+	WorkerToken string
+	// LeaseTTL and LeaseUnits tune the coordinator's lease sizing and
+	// expiry (0 selects the cluster package defaults).
+	LeaseTTL   time.Duration
+	LeaseUnits int
 	// Logger receives structured access log lines and server lifecycle
 	// messages (stderr by default).
 	Logger *log.Logger
@@ -207,6 +225,7 @@ type Server struct {
 	study     *coldtall.Study
 	respCache *cache.Cache[[]byte]
 	st        *store.Store
+	coord     *cluster.Coordinator
 	jobs      *job.Manager
 	workloads *workload.Registry
 	met       *serverMetrics
@@ -270,11 +289,32 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 			cfg.Logger.Printf("workload recovery: restored %d ingested workloads (%d records skipped)", rec, skip)
 		}
 	}
+	// The coordinator comes up before the job manager so distributed jobs
+	// (including ones recovered from checkpoints) can lease their grids
+	// immediately. Its lease tables persist in the same store, so a
+	// restarted coordinator re-adopts whatever was in flight.
+	var dist job.Distributor
+	if cfg.Coordinator {
+		s.coord = cluster.New(cluster.Options{
+			Cooling:    study.Explorer().Cooling,
+			LeaseTTL:   cfg.LeaseTTL,
+			LeaseUnits: cfg.LeaseUnits,
+			Store:      s.st,
+			Logger:     cfg.Logger,
+		})
+		if n, err := s.coord.Recover(); err != nil {
+			cfg.Logger.Printf("cluster recovery: %v", err)
+		} else if n > 0 {
+			cfg.Logger.Printf("cluster recovery: %d in-flight leases eligible for re-adoption", n)
+		}
+		dist = s.coord
+	}
 	s.jobs, err = job.NewManager(study, job.Options{
-		Store:     s.st,
-		Workers:   cfg.JobWorkers,
-		Logger:    cfg.Logger,
-		Workloads: s.workloads,
+		Store:       s.st,
+		Workers:     cfg.JobWorkers,
+		Logger:      cfg.Logger,
+		Workloads:   s.workloads,
+		Distributor: dist,
 		OnIngest: func(res ingest.Result) {
 			s.met.workloadUploads.Inc()
 			s.met.traceBytes.Observe(float64(res.TraceBytes))
@@ -329,6 +369,11 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("GET /v1/artifacts/{name}", s.handleArtifactByName)
 	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
+	if s.coord != nil {
+		// The cluster surface is worker-to-coordinator traffic: token-gated
+		// and registered as one prefix (the coordinator owns its routes).
+		mux.Handle("/v1/cluster/", s.workerAuth(s.coord.Handler()))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -405,6 +450,9 @@ func (s *Server) stopJobs(ctx context.Context) {
 		s.cfg.Logger.Printf("drain: cancelling jobs still running at timeout (checkpoints preserved)")
 	}
 	s.jobs.Close()
+	if s.coord != nil {
+		s.coord.Close()
+	}
 }
 
 // ListenAndServe binds cfg.Addr and serves until ctx is done (see Serve).

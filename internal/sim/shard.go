@@ -119,13 +119,43 @@ type Sharded struct {
 	accesses uint64
 }
 
+// AutoShards picks a shard count for a worker pool: 1 (the serial engine,
+// no partition/merge tax) when the effective pool is a single worker, and
+// otherwise the smallest power of two covering the pool, capped at
+// MaxShards(cfg) and rounded down to a power of two. Shard count never
+// changes results — merged snapshots are bit-identical to serial replay —
+// so this is purely a throughput policy: on one vCPU the sharded engine
+// used to pay the partition/merge tax for nothing (the EXPERIMENTS.md
+// one-core regression); auto-selection degrades it to serial exactly as
+// the PR 1 worker pool does.
+func AutoShards(cfg HierarchyConfig, workers int) int {
+	w := parallel.Workers(workers)
+	if w <= 1 {
+		return 1
+	}
+	shards := 1
+	for shards < w {
+		shards <<= 1
+	}
+	max := MaxShards(cfg)
+	for shards > max && shards > 1 {
+		shards >>= 1
+	}
+	return shards
+}
+
 // NewSharded builds the sharded replayer. shards must be a power of two
-// not exceeding MaxShards(cfg); workers follows parallel.Workers
-// semantics (0 means one per CPU). NextLinePrefetch is rejected: a
-// next-line prefetch crosses the shard stripe, breaking bank isolation.
+// not exceeding MaxShards(cfg), or <= 0 to auto-select via AutoShards
+// (serial when the worker pool is a single worker); workers follows
+// parallel.Workers semantics (0 means one per CPU). NextLinePrefetch is
+// rejected: a next-line prefetch crosses the shard stripe, breaking bank
+// isolation.
 func NewSharded(cfg HierarchyConfig, shards, workers int) (*Sharded, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if shards <= 0 {
+		shards = AutoShards(cfg, workers)
 	}
 	if cfg.NextLinePrefetch {
 		return nil, fmt.Errorf("sim: sharded replay is incompatible with next-line prefetch (prefetches cross shard banks)")

@@ -141,7 +141,6 @@ func TestShardedValidation(t *testing.T) {
 		shards int
 	}{
 		{"non power of two", func(*HierarchyConfig) {}, 3},
-		{"zero", func(*HierarchyConfig) {}, 0},
 		{"exceeds smallest level", func(*HierarchyConfig) {}, 128},
 		{"prefetch", func(c *HierarchyConfig) { c.NextLinePrefetch = true }, 8},
 		{"mixed block size", func(c *HierarchyConfig) {
@@ -156,6 +155,50 @@ func TestShardedValidation(t *testing.T) {
 				t.Fatal("want a validation error")
 			}
 		})
+	}
+}
+
+// TestAutoShards pins the one-core degradation policy: a single-worker
+// pool gets the serial engine (no partition/merge tax — the EXPERIMENTS.md
+// one-vCPU regression), wider pools a power of two sized to the pool and
+// capped by the hierarchy's bank structure.
+func TestAutoShards(t *testing.T) {
+	cfg := TableIConfig()
+	cases := []struct{ workers, want int }{
+		{1, 1},
+		{2, 2},
+		{3, 4},
+		{5, 8},
+		{64, 64},
+		{1000, 64}, // capped at MaxShards (the 64-set L1D)
+	}
+	for _, tc := range cases {
+		if got := AutoShards(cfg, tc.workers); got != tc.want {
+			t.Errorf("AutoShards(workers=%d) = %d, want %d", tc.workers, got, tc.want)
+		}
+	}
+}
+
+// TestShardedAutoSelect: shards <= 0 auto-selects and stays bit-identical
+// to the serial reference.
+func TestShardedAutoSelect(t *testing.T) {
+	cfg := TableIConfig()
+	accesses := testAccesses(t, 60000)
+	want := serialSnapshot(t, cfg, accesses)
+	for _, workers := range []int{1, 4} {
+		s, err := NewSharded(cfg, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantShards := AutoShards(cfg, workers); s.Shards() != wantShards {
+			t.Fatalf("workers=%d: auto-selected %d shards, want %d", workers, s.Shards(), wantShards)
+		}
+		if err := s.Replay(context.Background(), accesses); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Snapshot(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: auto-sharded snapshot diverged from serial", workers)
+		}
 	}
 }
 
