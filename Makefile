@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tracecheck prunecheck clustercheck goldencheck fuzz vulncheck bench searchbench golden-update
+.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tenantcheck tracecheck prunecheck clustercheck goldencheck fuzz vulncheck bench searchbench golden-update
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,20 @@ smoke:
 # GET /v1/artifacts must enumerate the registry identically.
 artifactcheck:
 	./scripts/artifactcheck.sh
+
+# The multi-tenant gate: the tenant package (buckets, budgets, key auth,
+# hot reload), the fair-share scheduler (including the FIFO-vs-fair
+# byte-identity differential), and the tenant-aware server surface
+# (admission, streaming, drain) under the race detector, then the
+# end-to-end script — two keys against a real serve: 401s, budget 429s
+# with headers, the priority-inversion check, `jobs watch` SSE
+# byte-identity, per-tenant metrics, and a SIGHUP key rotation.
+tenantcheck:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/tenant/...
+	$(GO) test -race -run 'TestScheduler|TestInteractiveDequeues|TestFairMatchesFIFO|TestSubmitAsQuota|TestListPage|TestSubscribe' ./internal/job/
+	$(GO) test -race -run 'TestRetryAfter|TestAdmissionPool|TestAPIKey|TestTenant|TestBudget|TestJobQuota|TestJobListFilter|TestJobStatus|TestDrainFlushes|TestStream|TestOpenAPI' ./internal/server/
+	./scripts/tenantcheck.sh
 
 # Trace-toolchain drift check through the built binaries: tracegen's text
 # and binary outputs must simulate identically, llcsim -dump must emit the

@@ -21,11 +21,19 @@ import (
 // returns its base URL.
 func startJobServer(t *testing.T) string {
 	t.Helper()
+	return startJobServerCfg(t, server.Config{})
+}
+
+// startJobServerCfg is startJobServer with a caller-supplied config
+// (tenant files, quotas); the store dir and quiet logger are filled in.
+func startJobServerCfg(t *testing.T, cfg server.Config) string {
+	t.Helper()
 	study := coldtall.NewStudy()
-	s, err := server.New(study, server.Config{
-		StoreDir: t.TempDir(),
-		Logger:   log.New(io.Discard, "", 0),
-	})
+	if cfg.StoreDir == "" {
+		cfg.StoreDir = t.TempDir()
+	}
+	cfg.Logger = log.New(io.Discard, "", 0)
+	s, err := server.New(study, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,9 +39,11 @@
 // Async jobs (against a running serve instance):
 //
 //	coldtall jobs list
+//	coldtall jobs list -state done -limit 10      # filter + paginate
 //	coldtall jobs submit table2      # artifact name, spec file, or - (stdin)
 //	coldtall jobs status <id>
 //	coldtall jobs wait <id> > out.csv
+//	coldtall jobs watch <id> > out.csv   # live SSE progress on stderr
 //	coldtall jobs cancel <id>
 //
 // Custom workloads (against a running serve instance):
@@ -50,6 +52,13 @@
 //	coldtall workloads add spec.json    # ingest a generator spec or .ctrace
 //	coldtall workloads add -            # ... or read the spec from stdin
 //	coldtall workloads traffic <name>   # derived LLC reads/s and writes/s
+//
+// Multi-tenant serving (see internal/tenant):
+//
+//	coldtall serve -tenants tenants.json      # API keys, budgets, fair share
+//	coldtall serve -default-quota 100000      # anonymous budget (evals/window)
+//	coldtall openapi > openapi.json           # the served /v1/openapi.json bytes
+//	coldtall jobs -api-key $KEY submit table2 # authenticate as a tenant
 //
 // Flags:
 //
@@ -61,9 +70,14 @@
 //	                             entries, per-request compute deadline
 //	-store-dir, -job-workers     serve: result-store directory (enables
 //	                             checkpointed jobs + warm restarts), job pool
+//	-tenants, -default-quota     serve: tenant config file (SIGHUP reloads),
+//	                             default per-tenant eval budget
 //	-server, -poll               jobs/workloads: serve base URL, poll interval
+//	-api-key                     jobs/workloads: tenant API key (bearer auth)
+//	-state, -limit, -cursor      jobs list: state filter + pagination
 //
-// SIGINT/SIGTERM cancel in-flight sweeps; serve drains gracefully.
+// SIGINT/SIGTERM cancel in-flight sweeps; serve drains gracefully, flushing
+// live job streams first. SIGHUP reloads the -tenants file in place.
 package main
 
 import (
@@ -116,6 +130,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	timeout := fs.Duration("timeout", 60*time.Second, "serve: per-request compute deadline")
 	storeDir := fs.String("store-dir", "", "serve: persistent result-store directory (empty = in-memory only)")
 	jobWorkers := fs.Int("job-workers", 0, "serve: async job worker pool size (0 = one per CPU)")
+	jobConcurrency := fs.Int("job-concurrency", 0, "serve: async jobs executing at once (0 = default 2); excess queues by priority and fair share")
+	schedMode := fs.String("scheduler", "", "serve: job dispatch order: fair (priority + weighted fair share, the default) or fifo")
 	serverURL := fs.String("server", "http://localhost:8080", "jobs/worker: base URL of a running serve instance")
 	poll := fs.Duration("poll", 250*time.Millisecond, "jobs wait / worker: status or lease poll interval")
 	format := fs.String("format", "table", "artifacts: output format (table, csv)")
@@ -125,10 +141,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	leaseUnits := fs.Int("lease-units", 0, "serve: max grid points per lease (0 = auto: whole families on one core)")
 	workerName := fs.String("name", "", "worker: stable display name reported to the coordinator")
 	throttle := fs.Duration("throttle", 0, "worker: sleep before each unit evaluation (testing/demo)")
+	tenantsFile := fs.String("tenants", "", "serve: tenant config file with API keys, limits and weights (SIGHUP reloads)")
+	defaultQuota := fs.Int64("default-quota", 0, "serve: default per-tenant compute budget in design-point evaluations per window (0 = unlimited)")
+	apiKey := fs.String("api-key", "", "jobs/workloads: tenant API key, sent as a bearer token")
+	jobState := fs.String("state", "", "jobs list: filter by state (queued, running, done, failed, cancelled)")
+	jobLimit := fs.Int("limit", 0, "jobs list: page size (0 = everything)")
+	jobCursor := fs.String("cursor", "", "jobs list: resume after this job ID (from a previous page)")
 
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, artifacts, eval, export, sweep, pareto, serve, worker, jobs, workloads, all)")
+		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, artifacts, eval, export, sweep, pareto, serve, worker, jobs, workloads, openapi, all)")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -152,12 +174,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		plot: *plot, outDir: *outDir, configPath: *configPath,
 		cellName: *cellName, corner: *corner, dies: *dies, temp: *temp,
 		addr: *addr, cacheSize: *cacheSize, timeout: *timeout,
-		storeDir: *storeDir, jobWorkers: *jobWorkers,
+		storeDir: *storeDir, jobWorkers: *jobWorkers, jobConcurrency: *jobConcurrency, scheduler: *schedMode,
 		server: *serverURL, poll: *poll,
 		format: *format, args: positional(fs.Args()),
 		coordinator: *coordinator, workerToken: *workerToken,
 		leaseTTL: *leaseTTL, leaseUnits: *leaseUnits,
 		workerName: *workerName, throttle: *throttle,
+		tenantsFile: *tenantsFile, defaultQuota: *defaultQuota,
+		apiKey: *apiKey, jobState: *jobState, jobLimit: *jobLimit, jobCursor: *jobCursor,
 	}); err != nil {
 		if errors.Is(err, errUnknownSubcommand) {
 			return err
@@ -179,6 +203,8 @@ type cliFlags struct {
 	timeout            time.Duration
 	storeDir           string
 	jobWorkers         int
+	jobConcurrency     int
+	scheduler          string
 	server             string
 	poll               time.Duration
 	format             string
@@ -188,6 +214,12 @@ type cliFlags struct {
 	leaseUnits         int
 	workerName         string
 	throttle           time.Duration
+	tenantsFile        string
+	defaultQuota       int64
+	apiKey             string
+	jobState           string
+	jobLimit           int
+	jobCursor          string
 	args               positional
 }
 
@@ -267,6 +299,11 @@ func dispatch(ctx context.Context, cmd string, study *coldtall.Study, w io.Write
 		return pareto(ctx, w, f)
 	case "serve":
 		return serveHTTP(ctx, study, w, f)
+	case "openapi":
+		// The exact bytes a running serve answers at /v1/openapi.json —
+		// `make artifactcheck` compares the two, so drift is impossible.
+		_, err := w.Write(server.OpenAPIJSON())
+		return err
 	case "worker":
 		return runClusterWorker(ctx, w, f)
 	case "jobs":
@@ -340,21 +377,44 @@ func (f cliFlags) parsePoint() (explorer.DesignPoint, error) {
 }
 
 // serveHTTP runs the HTTP DSE service until the signal context fires, then
-// drains.
+// drains. SIGHUP reloads the tenant config in place (key rotation without
+// a restart); a broken file keeps the previous tenant set serving.
 func serveHTTP(ctx context.Context, study *coldtall.Study, w io.Writer, f cliFlags) error {
 	srv, err := server.New(study, server.Config{
-		Addr:         f.addr,
-		CacheEntries: f.cacheSize,
-		Timeout:      f.timeout,
-		StoreDir:     f.storeDir,
-		JobWorkers:   f.jobWorkers,
-		Coordinator:  f.coordinator,
-		WorkerToken:  f.workerToken,
-		LeaseTTL:     f.leaseTTL,
-		LeaseUnits:   f.leaseUnits,
+		Addr:           f.addr,
+		CacheEntries:   f.cacheSize,
+		Timeout:        f.timeout,
+		StoreDir:       f.storeDir,
+		JobWorkers:     f.jobWorkers,
+		JobConcurrency: f.jobConcurrency,
+		Scheduler:      f.scheduler,
+		Coordinator:    f.coordinator,
+		WorkerToken:    f.workerToken,
+		LeaseTTL:       f.leaseTTL,
+		LeaseUnits:     f.leaseUnits,
+		TenantsFile:    f.tenantsFile,
+		DefaultQuota:   f.defaultQuota,
 	})
 	if err != nil {
 		return err
+	}
+	if f.tenantsFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					if err := srv.ReloadTenants(); err != nil {
+						fmt.Fprintf(os.Stderr, "coldtall: tenant reload failed (keeping previous set): %v\n", err)
+					}
+				}
+			}
+		}()
+		fmt.Fprintf(w, "tenancy enabled from %s (SIGHUP to reload)\n", f.tenantsFile)
 	}
 	if f.coordinator {
 		fmt.Fprintf(w, "coordinator enabled: workers pull leases from %s/v1/cluster\n", f.addr)

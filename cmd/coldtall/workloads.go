@@ -26,7 +26,7 @@ import (
 // polls the ingest job to completion, and prints the registered source
 // record.
 func runWorkloads(ctx context.Context, w io.Writer, f cliFlags) error {
-	c := workloadsClient{jobsClient{base: strings.TrimRight(f.server, "/")}}
+	c := workloadsClient{jobsClient{base: strings.TrimRight(f.server, "/"), key: f.apiKey}}
 	verb := f.args.arg(0)
 	switch verb {
 	case "", "list":
@@ -48,7 +48,7 @@ type workloadsClient struct {
 // getJSON issues one GET and decodes the JSON answer into out; non-2xx
 // responses surface the server's error text.
 func (c workloadsClient) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}

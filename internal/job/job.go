@@ -48,6 +48,16 @@ func (s State) valid() bool {
 	return false
 }
 
+// ParseState validates a state string arriving from the API surface
+// (the ?state= listing filter).
+func ParseState(s string) (State, error) {
+	if st := State(s); st.valid() {
+		return st, nil
+	}
+	return "", fmt.Errorf("job: unknown state %q (want %s, %s, %s, %s, or %s)",
+		s, StateQueued, StateRunning, StateDone, StateFailed, StateCancelled)
+}
+
 // Kind discriminates what a job computes.
 const (
 	// KindSweep evaluates a points x benchmarks grid (the async form of
@@ -59,7 +69,34 @@ const (
 	// KindIngest runs one workload ingestion (the async form of
 	// POST /v1/workloads): materialize, replay, register.
 	KindIngest = "ingest"
+	// KindCharacterize characterizes one design point (Points[0]; the
+	// async form of POST /v1/characterize, byte-identical to it).
+	KindCharacterize = "characterize"
+	// KindEvaluate evaluates one (Points[0], Benchmarks[0]) cell (the
+	// async form of POST /v1/evaluate, byte-identical to it).
+	KindEvaluate = "evaluate"
 )
+
+// Class is a job's scheduling priority class. Interactive jobs — the
+// async forms of the sub-second request/response endpoints — always
+// dispatch ahead of queued bulk work, so one tenant's grid sweep cannot
+// delay another tenant's single characterization.
+type Class string
+
+const (
+	ClassInteractive Class = "interactive"
+	ClassBulk        Class = "bulk"
+)
+
+// Class derives the priority class from the kind: characterize and
+// evaluate are interactive; sweep, artifact and ingest are bulk.
+func (sp Spec) Class() Class {
+	switch sp.Kind {
+	case KindCharacterize, KindEvaluate:
+		return ClassInteractive
+	}
+	return ClassBulk
+}
 
 // Spec describes a job. Equal specs canonicalize to equal job IDs, so
 // resubmitting the same work returns the existing job instead of queueing a
@@ -136,8 +173,27 @@ func (sp Spec) ValidateWith(resolve func(string) (workload.Traffic, error)) erro
 			return fmt.Errorf("job: ingest job needs an ingest spec")
 		}
 		return sp.Ingest.Validate()
+	case KindCharacterize:
+		if len(sp.Points) != 1 {
+			return fmt.Errorf("job: characterize needs exactly one design point")
+		}
+		if _, err := explorer.ParsePoint(sp.Points[0]); err != nil {
+			return fmt.Errorf("job: point: %w", err)
+		}
+		return nil
+	case KindEvaluate:
+		if len(sp.Points) != 1 || len(sp.Benchmarks) != 1 {
+			return fmt.Errorf("job: evaluate needs exactly one design point and one benchmark")
+		}
+		if _, err := explorer.ParsePoint(sp.Points[0]); err != nil {
+			return fmt.Errorf("job: point: %w", err)
+		}
+		if _, err := resolve(sp.Benchmarks[0]); err != nil {
+			return fmt.Errorf("job: benchmark: %w", err)
+		}
+		return nil
 	default:
-		return fmt.Errorf("job: unknown kind %q (want %q, %q, or %q)", sp.Kind, KindSweep, KindArtifact, KindIngest)
+		return fmt.Errorf("job: unknown kind %q (want %q, %q, %q, %q, or %q)", sp.Kind, KindSweep, KindArtifact, KindIngest, KindCharacterize, KindEvaluate)
 	}
 }
 
@@ -183,6 +239,11 @@ type Status struct {
 	// Resumed counts cells restored from checkpoints rather than computed
 	// in this process — nonzero after a crash-recovery restart.
 	Resumed int `json:"resumed,omitempty"`
+	// Tenant names the submitting tenant; empty for jobs submitted
+	// before multi-tenancy or through the tenantless Submit path.
+	Tenant string `json:"tenant,omitempty"`
+	// Class is the scheduling priority class derived from the kind.
+	Class Class `json:"class,omitempty"`
 }
 
 // record is the persisted form of a job (store key "job|<id>"). The result
@@ -197,6 +258,7 @@ type record struct {
 	Error  string `json:"error,omitempty"`
 	CType  string `json:"content_type,omitempty"`
 	HasRes bool   `json:"has_result,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Store key namespaces. Job bookkeeping shares the result store with the

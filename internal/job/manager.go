@@ -56,6 +56,18 @@ type Options struct {
 	OnIngest func(res ingest.Result)
 	// Logger receives job lifecycle lines; nil discards them.
 	Logger *log.Logger
+	// MaxConcurrent bounds how many jobs run at once (default 2); the
+	// rest wait in the scheduler's queues. Each running job still fans
+	// its cells across the Workers pool.
+	MaxConcurrent int
+	// Scheduler selects the dispatch policy: SchedFair (default) runs
+	// interactive jobs ahead of bulk with deficit-round-robin fair share
+	// across tenants; SchedFIFO dispatches in arrival order and exists
+	// for the differential byte-identity test.
+	Scheduler string
+	// TenantWeight resolves a tenant name to its fair-share weight for
+	// DRR dispatch; nil weights every tenant 1.
+	TenantWeight func(tenant string) float64
 }
 
 func (o Options) withDefaults() Options {
@@ -68,14 +80,26 @@ func (o Options) withDefaults() Options {
 	if o.BackoffMax == 0 {
 		o.BackoffMax = time.Second
 	}
+	if o.MaxConcurrent == 0 {
+		o.MaxConcurrent = 2
+	}
+	if o.Scheduler == "" {
+		o.Scheduler = SchedFair
+	}
 	return o
 }
+
+// ErrQuota is returned by SubmitAs when creating a new job would exceed
+// the tenant's concurrent-job quota. Resubmitting an existing spec never
+// trips it: idempotent lookups create no new work.
+var ErrQuota = errors.New("job: tenant concurrent-job quota exhausted")
 
 // Job is one submitted computation. All fields are guarded by mu; read
 // through Status.
 type Job struct {
-	id   string
-	spec Spec
+	id     string
+	spec   Spec
+	tenant string // owner: the first submitter; immutable after creation
 
 	mu      sync.Mutex
 	state   State
@@ -86,8 +110,15 @@ type Job struct {
 	result  []byte
 	ctype   string
 
-	cancel context.CancelFunc
-	fin    chan struct{}
+	cancel    context.CancelFunc
+	killEarly bool // cancelled while queued, racing with dispatch
+	fin       chan struct{}
+
+	// subs are the live progress subscribers (SSE / long-poll). Each
+	// channel is buffered one deep and written latest-wins, so a slow
+	// reader sees a coalesced status stream, never a backlog.
+	subs   map[int]chan Status
+	subSeq int
 }
 
 // Manager owns the job table and the background workers. Construct with
@@ -99,6 +130,8 @@ type Manager struct {
 	mu   sync.Mutex
 	jobs map[string]*Job
 	wg   sync.WaitGroup
+
+	sched *scheduler
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -131,6 +164,7 @@ func NewManager(study *coldtall.Study, opts Options) (*Manager, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	m.sched = newScheduler(m.opts.Scheduler, m.opts.MaxConcurrent, m.opts.TenantWeight)
 	m.evalCell = func(ctx context.Context, p explorer.DesignPoint, tr workload.Traffic) (explorer.Evaluation, error) {
 		return study.Explorer().EvaluateContext(ctx, p, tr)
 	}
@@ -153,37 +187,69 @@ func (m *Manager) trafficFor(name string) (workload.Traffic, error) {
 	return workload.StaticTrafficFor(name)
 }
 
-// Submit validates the spec and starts (or finds) its job. Submission is
-// idempotent: the same spec maps to the same deterministic ID, and a live
-// or completed job under that ID is returned as-is rather than re-run.
+// Submit validates the spec and enqueues (or finds) its job. Submission
+// is idempotent: the same spec maps to the same deterministic ID, and a
+// live or completed job under that ID is returned as-is rather than
+// re-run. Tenantless submissions dispatch under the anonymous owner.
 func (m *Manager) Submit(spec Spec) (Status, error) {
+	st, _, err := m.SubmitAs(spec, "", 0)
+	return st, err
+}
+
+// SubmitAs is Submit on behalf of a tenant: owner is recorded on the
+// job (and keyed into fair-share dispatch), and maxLive, when > 0, caps
+// the tenant's live (non-terminal) jobs — creating a job beyond the cap
+// returns ErrQuota. created reports whether this call queued new work,
+// so callers charging compute budgets can refund duplicate submissions.
+func (m *Manager) SubmitAs(spec Spec, owner string, maxLive int) (st Status, created bool, err error) {
 	if err := spec.ValidateWith(m.trafficFor); err != nil {
-		return Status{}, err
+		return Status{}, false, err
 	}
 	switch spec.Kind {
 	case KindArtifact:
 		if _, ok := coldtall.Artifacts().Lookup(spec.Artifact); !ok {
-			return Status{}, fmt.Errorf("job: unknown artifact %q", spec.Artifact)
+			return Status{}, false, fmt.Errorf("job: unknown artifact %q", spec.Artifact)
 		}
 		if spec.Workload != "" && !coldtall.IsTrafficArtifact(spec.Artifact) {
-			return Status{}, fmt.Errorf("job: artifact %q is workload-independent (per-workload artifacts: %v)", spec.Artifact, coldtall.TrafficArtifactNames())
+			return Status{}, false, fmt.Errorf("job: artifact %q is workload-independent (per-workload artifacts: %v)", spec.Artifact, coldtall.TrafficArtifactNames())
 		}
 	case KindIngest:
 		if m.opts.Workloads == nil {
-			return Status{}, fmt.Errorf("job: this manager has no workload registry; ingest jobs are disabled")
+			return Status{}, false, fmt.Errorf("job: this manager has no workload registry; ingest jobs are disabled")
 		}
 	}
 	id := spec.id()
 	m.mu.Lock()
 	if j, ok := m.jobs[id]; ok {
 		m.mu.Unlock()
-		return j.Status(), nil
+		return j.Status(), false, nil
+	}
+	if maxLive > 0 && m.liveJobsLocked(owner) >= maxLive {
+		m.mu.Unlock()
+		return Status{}, false, ErrQuota
 	}
 	j := m.newJob(id, spec)
+	j.tenant = owner
 	m.jobs[id] = j
 	m.mu.Unlock()
-	m.start(j)
-	return j.Status(), nil
+	m.enqueue(j)
+	return j.Status(), true, nil
+}
+
+// liveJobsLocked counts owner's non-terminal jobs; m.mu must be held.
+func (m *Manager) liveJobsLocked(owner string) int {
+	n := 0
+	for _, j := range m.jobs {
+		if j.tenant != owner {
+			continue
+		}
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
 }
 
 func (m *Manager) newJob(id string, spec Spec) *Job {
@@ -203,19 +269,43 @@ func (m *Manager) newJob(id string, spec Spec) *Job {
 	return &Job{id: id, spec: spec, state: StateQueued, total: total, fin: make(chan struct{})}
 }
 
-// start launches a job's goroutine. The job must already be in the table.
-func (m *Manager) start(j *Job) {
-	ctx, cancel := context.WithCancel(m.baseCtx)
-	j.mu.Lock()
-	j.cancel = cancel
-	j.mu.Unlock()
+// enqueue hands a table-resident job to the scheduler and kicks the
+// dispatcher. With a free slot the job starts immediately (a single
+// queued job behaves exactly like the old direct start), otherwise it
+// waits its fair-share turn.
+func (m *Manager) enqueue(j *Job) {
 	m.persist(j)
-	m.wg.Add(1)
-	go func() {
-		defer m.wg.Done()
-		defer cancel()
-		m.run(ctx, j)
-	}()
+	m.sched.add(j)
+	m.dispatch()
+}
+
+// dispatch launches scheduler picks until the slots are full or the
+// queues are empty. It runs inline on submit and again on every job
+// completion, so there is no dispatcher goroutine to drain at shutdown.
+func (m *Manager) dispatch() {
+	for {
+		j := m.sched.pick()
+		if j == nil {
+			return
+		}
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		j.mu.Lock()
+		j.cancel = cancel
+		killed := j.killEarly
+		j.mu.Unlock()
+		if killed {
+			// Cancelled after pick but before the context existed.
+			cancel()
+		}
+		m.wg.Add(1)
+		go func(j *Job, ctx context.Context, cancel context.CancelFunc) {
+			defer m.wg.Done()
+			defer cancel()
+			m.run(ctx, j)
+			m.sched.done()
+			m.dispatch()
+		}(j, ctx, cancel)
+	}
 }
 
 // Get returns a job's status snapshot.
@@ -271,8 +361,41 @@ func (m *Manager) List() []Status {
 	return out
 }
 
+// ListQuery filters and pages a job listing.
+type ListQuery struct {
+	// State keeps only jobs in that state; empty keeps all.
+	State State
+	// Limit caps the page size; <= 0 returns everything.
+	Limit int
+	// Cursor resumes after a previous page: only IDs strictly greater
+	// are returned. IDs are content-addressed, so the order is stable
+	// across calls and restarts.
+	Cursor string
+}
+
+// ListPage returns one filtered, ID-ordered page. next is the cursor
+// for the following page, empty when this page ends the listing.
+func (m *Manager) ListPage(q ListQuery) (page []Status, next string) {
+	page = []Status{}
+	for _, st := range m.List() {
+		if q.State != "" && st.State != q.State {
+			continue
+		}
+		if q.Cursor != "" && st.ID <= q.Cursor {
+			continue
+		}
+		if q.Limit > 0 && len(page) == q.Limit {
+			return page, page[len(page)-1].ID
+		}
+		page = append(page, st)
+	}
+	return page, ""
+}
+
 // Cancel requests cancellation of a running or queued job. It reports
-// whether the job exists; cancelling a finished job is a no-op.
+// whether the job exists; cancelling a finished job is a no-op. A job
+// still waiting in the scheduler is withdrawn and goes terminal without
+// ever running.
 func (m *Manager) Cancel(id string) bool {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
@@ -283,9 +406,21 @@ func (m *Manager) Cancel(id string) bool {
 	j.mu.Lock()
 	cancel := j.cancel
 	terminal := j.state.Terminal()
+	if !terminal && cancel == nil {
+		// Not yet dispatched: flag the race window so a concurrent
+		// dispatch cancels the context it is about to create.
+		j.killEarly = true
+	}
 	j.mu.Unlock()
-	if !terminal && cancel != nil {
+	switch {
+	case terminal:
+	case cancel != nil:
 		cancel()
+	case m.sched.remove(j):
+		// Withdrawn before dispatch: no goroutine will run it, so the
+		// terminal transition happens here.
+		m.transition(j, StateCancelled)
+		m.logf("job %s: cancelled while queued", j.id)
 	}
 	return true
 }
@@ -308,10 +443,15 @@ func (m *Manager) Wait(ctx context.Context) error {
 	}
 }
 
-// Close cancels every running job and waits for their goroutines. The
-// manager accepts no new work afterwards (submissions run under a
-// cancelled base context and finish as cancelled).
+// Close cancels every queued and running job and waits for the running
+// goroutines. The manager accepts no new work afterwards (submissions
+// run under a cancelled base context and finish as cancelled). Queued
+// jobs are withdrawn and go terminal as cancelled without running, so
+// their waiters and progress subscribers unblock before the wait.
 func (m *Manager) Close() {
+	for _, j := range m.sched.drainAll() {
+		m.transition(j, StateCancelled)
+	}
 	m.baseCancel()
 	m.wg.Wait()
 }
@@ -341,6 +481,7 @@ func (m *Manager) Recover() (int, error) {
 			return nil
 		}
 		j := m.newJob(id, rec.Spec)
+		j.tenant = rec.Tenant
 		j.ctype = rec.CType
 		if rec.State.Terminal() {
 			j.state = rec.State
@@ -360,7 +501,7 @@ func (m *Manager) Recover() (int, error) {
 	}
 	for _, j := range resumed {
 		m.logf("job %s: resuming after restart", j.id)
-		m.start(j)
+		m.enqueue(j)
 	}
 	return len(resumed), nil
 }
@@ -383,6 +524,8 @@ func (j *Job) Status() Status {
 		Artifact: j.spec.Artifact,
 		Workload: wl,
 		Resumed:  j.resumed,
+		Tenant:   j.tenant,
+		Class:    j.spec.Class(),
 	}
 }
 
@@ -405,6 +548,87 @@ func (m *Manager) WaitFor(ctx context.Context, id string) (Status, error) {
 	}
 }
 
+// Subscription is one live status stream over a job. C delivers
+// coalesced snapshots: the channel is one deep and written latest-wins,
+// so a reader that falls behind skips intermediate progress but always
+// observes the terminal status (nothing is written after it).
+type Subscription struct {
+	// C carries status snapshots, primed with the state at subscribe
+	// time.
+	C <-chan Status
+
+	j   *Job
+	key int
+}
+
+// Done is closed when the job reaches a terminal state.
+func (s *Subscription) Done() <-chan struct{} { return s.j.Done() }
+
+// Status snapshots the job directly (for post-terminal reads).
+func (s *Subscription) Status() Status { return s.j.Status() }
+
+// Close detaches the subscriber. Safe to call more than once.
+func (s *Subscription) Close() {
+	s.j.mu.Lock()
+	delete(s.j.subs, s.key)
+	s.j.mu.Unlock()
+}
+
+// Subscribe opens a status stream over the job with id. The first
+// receive is the current status; later receives are pushed on every
+// progress or state change.
+func (m *Manager) Subscribe(id string) (*Subscription, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	ch := make(chan Status, 1)
+	ch <- j.Status()
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[int]chan Status)
+	}
+	key := j.subSeq
+	j.subSeq++
+	j.subs[key] = ch
+	j.mu.Unlock()
+	return &Subscription{C: ch, j: j, key: key}, true
+}
+
+// notify pushes the current status to every subscriber, latest-wins: a
+// full channel is drained before the push so the reader's next receive
+// is always the newest snapshot.
+func (j *Job) notify() {
+	j.mu.Lock()
+	if len(j.subs) == 0 {
+		j.mu.Unlock()
+		return
+	}
+	chans := make([]chan Status, 0, len(j.subs))
+	for _, ch := range j.subs {
+		chans = append(chans, ch)
+	}
+	j.mu.Unlock()
+	st := j.Status()
+	for _, ch := range chans {
+		select {
+		case ch <- st:
+			continue
+		default:
+		}
+		select {
+		case <-ch:
+		default:
+		}
+		select {
+		case ch <- st:
+		default:
+		}
+	}
+}
+
 // transition moves the job to a new state, persists the record, and feeds
 // the observation hook.
 func (m *Manager) transition(j *Job, to State) {
@@ -422,8 +646,11 @@ func (m *Manager) transition(j *Job, to State) {
 }
 
 // persist writes the job record through the store (best-effort: job
-// bookkeeping must never fail a computation).
+// bookkeeping must never fail a computation). Every persist call site is
+// a status mutation, so this is also the broadcast point for progress
+// subscribers — stores and streams always observe the same snapshots.
 func (m *Manager) persist(j *Job) {
+	j.notify()
 	if m.opts.Store == nil {
 		return
 	}
@@ -432,6 +659,7 @@ func (m *Manager) persist(j *Job) {
 		ID: j.id, Spec: j.spec, State: j.state,
 		Done: j.done, Total: j.total, Error: j.errMsg,
 		CType: j.ctype, HasRes: j.result != nil,
+		Tenant: j.tenant,
 	}
 	j.mu.Unlock()
 	b, err := json.Marshal(rec)
@@ -454,6 +682,10 @@ func (m *Manager) run(ctx context.Context, j *Job) {
 		err = m.runArtifact(ctx, j)
 	case KindIngest:
 		err = m.runIngest(ctx, j)
+	case KindCharacterize:
+		err = m.runCharacterize(ctx, j)
+	case KindEvaluate:
+		err = m.runEvaluate(ctx, j)
 	default:
 		err = fmt.Errorf("job: unknown kind %q", j.spec.Kind)
 	}
@@ -541,6 +773,91 @@ func (m *Manager) runIngest(ctx context.Context, j *Job) error {
 		m.opts.OnIngest(res)
 	}
 	body, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	m.setResult(j, body, "application/json")
+	j.mu.Lock()
+	j.done = j.total
+	j.mu.Unlock()
+	return nil
+}
+
+// charRow mirrors the synchronous /v1/characterize response shape, so
+// the async form's payload is byte-identical to the endpoint's.
+type charRow struct {
+	Point                 string   `json:"point"`
+	Key                   string   `json:"key"`
+	Organization          string   `json:"organization"`
+	ReadLatencyS          float64  `json:"read_latency_s"`
+	WriteLatencyS         float64  `json:"write_latency_s"`
+	RandomCycleS          float64  `json:"random_cycle_s"`
+	ReadEnergyJ           float64  `json:"read_energy_j"`
+	WriteEnergyJ          float64  `json:"write_energy_j"`
+	LeakageW              float64  `json:"leakage_w"`
+	RefreshW              float64  `json:"refresh_w"`
+	RetentionS            *float64 `json:"retention_s"`
+	FootprintM2           float64  `json:"footprint_m2"`
+	TotalSiliconM2        float64  `json:"total_silicon_m2"`
+	ArrayEfficiency       float64  `json:"array_efficiency"`
+	BandwidthAccessesPerS float64  `json:"bandwidth_accesses_per_s"`
+}
+
+// runCharacterize computes one design point's characterization — the
+// interactive job class's cheapest unit of work (one optimizer search,
+// warm from the shared explorer cache when the sync path already did it).
+func (m *Manager) runCharacterize(ctx context.Context, j *Job) error {
+	p, err := explorer.ParsePoint(j.spec.Points[0])
+	if err != nil {
+		return err
+	}
+	res, err := m.study.Explorer().CharacterizeContext(ctx, p)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(charRow{
+		Point:                 p.Label,
+		Key:                   p.Key(),
+		Organization:          res.Org.String(),
+		ReadLatencyS:          res.ReadLatency,
+		WriteLatencyS:         res.WriteLatency,
+		RandomCycleS:          res.RandomCycle,
+		ReadEnergyJ:           res.ReadEnergy,
+		WriteEnergyJ:          res.WriteEnergy,
+		LeakageW:              res.LeakagePower,
+		RefreshW:              res.RefreshPower,
+		RetentionS:            report.FiniteOrNull(res.Retention),
+		FootprintM2:           res.FootprintM2,
+		TotalSiliconM2:        res.TotalSiliconM2,
+		ArrayEfficiency:       res.ArrayEfficiency,
+		BandwidthAccessesPerS: res.BandwidthAccesses,
+	})
+	if err != nil {
+		return err
+	}
+	m.setResult(j, body, "application/json")
+	j.mu.Lock()
+	j.done = j.total
+	j.mu.Unlock()
+	return nil
+}
+
+// runEvaluate computes one (point, benchmark) cell, reusing the sweep
+// row DTO (it mirrors the synchronous /v1/evaluate response shape).
+func (m *Manager) runEvaluate(ctx context.Context, j *Job) error {
+	p, err := explorer.ParsePoint(j.spec.Points[0])
+	if err != nil {
+		return err
+	}
+	tr, err := m.trafficFor(j.spec.Benchmarks[0])
+	if err != nil {
+		return err
+	}
+	ev, err := m.evalWithRetry(ctx, p, tr)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(rowDTO(ev))
 	if err != nil {
 		return err
 	}

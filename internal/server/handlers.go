@@ -119,7 +119,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := "characterize|" + p.Key()
-	s.serveCached(w, r, "application/json", key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, "application/json", key, 1, func(ctx context.Context) ([]byte, error) {
 		res, err := s.study.Explorer().CharacterizeContext(ctx, p)
 		if err != nil {
 			return nil, err
@@ -184,7 +184,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := "evaluate|" + p.Key() + "|" + tr.Benchmark
-	s.serveCached(w, r, "application/json", key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, "application/json", key, 1, func(ctx context.Context) ([]byte, error) {
 		ev, err := s.study.Explorer().EvaluateContext(ctx, p, tr)
 		if err != nil {
 			return nil, err
@@ -249,7 +249,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	key := "sweep|" + strings.Join(keys, ";")
-	s.serveCached(w, r, "application/json", key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, "application/json", key, len(points)*len(traffics), func(ctx context.Context) ([]byte, error) {
 		grid, err := s.study.Explorer().EvaluateAllContext(ctx, points, traffics)
 		if err != nil {
 			return nil, err
@@ -296,7 +296,7 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := "pareto|" + p.Key()
-	s.serveCached(w, r, "application/json", key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, "application/json", key, 1, func(ctx context.Context) ([]byte, error) {
 		front, err := array.ParetoContext(ctx, p.ArrayConfig())
 		if err != nil {
 			return nil, err
@@ -411,7 +411,7 @@ func (s *Server) serveArtifact(w http.ResponseWriter, r *http.Request, name stri
 		contentType = "text/csv; charset=utf-8"
 	}
 	key := "artifact|" + d.Name + "|" + format
-	s.serveCached(w, r, contentType, key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, contentType, key, artifactCost(d.Name), func(ctx context.Context) ([]byte, error) {
 		t, err := s.study.WithContext(ctx).ArtifactTable(d.Name)
 		if err != nil {
 			return nil, err

@@ -29,15 +29,7 @@ func (s *Server) handleWorkloadSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &spec) {
 		return
 	}
-	status, err := s.jobs.Submit(job.Spec{Kind: job.KindIngest, Ingest: &spec})
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Location", "/v1/jobs/"+status.ID)
-	w.WriteHeader(http.StatusAccepted)
-	_ = json.NewEncoder(w).Encode(status)
+	s.submitJob(w, r, job.Spec{Kind: job.KindIngest, Ingest: &spec})
 }
 
 // handleWorkloadList serves the full workload catalog.
@@ -87,7 +79,7 @@ func (s *Server) handleWorkloadArtifact(w http.ResponseWriter, r *http.Request) 
 		contentType = "text/csv; charset=utf-8"
 	}
 	key := "workload-artifact|" + name + "|" + d.Name + "|" + format
-	s.serveCached(w, r, contentType, key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, contentType, key, artifactCost(d.Name), func(ctx context.Context) ([]byte, error) {
 		st := s.study.WithContext(ctx)
 		if format == "csv" {
 			var b strings.Builder

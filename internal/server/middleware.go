@@ -3,18 +3,11 @@ package server
 import (
 	"context"
 	"errors"
-	"math/rand/v2"
 	"net/http"
 	"runtime/debug"
-	"strconv"
 	"strings"
 	"time"
 )
-
-// retryAfter picks a jittered Retry-After of 1–3 seconds: a fixed value
-// would re-synchronize every shed client onto the same second, turning one
-// saturation spike into a recurring thundering herd.
-func retryAfter() string { return strconv.Itoa(1 + rand.IntN(3)) }
 
 // statusWriter captures the response code and byte count for logging and
 // metrics.
@@ -38,6 +31,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += n
 	return n, err
+}
+
+// Flush forwards streaming flushes so SSE works through the observe
+// wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // recoverPanics converts a handler crash into a 500 without killing the
@@ -100,29 +101,37 @@ func (s *Server) limitBody(next http.Handler) http.Handler {
 // errSaturated marks a compute rejected by admission control.
 var errSaturated = errors.New("server: sweep pool saturated")
 
-// tryAcquire claims an admission slot without queueing: under saturation
-// the caller sheds load (429) instead of stacking goroutines behind the
-// worker pool.
-func (s *Server) tryAcquire() bool {
-	select {
-	case s.admission <- struct{}{}:
+// tryAcquire claims an admission slot for the tenant without queueing:
+// under saturation the caller sheds load (429) instead of stacking
+// goroutines behind the worker pool.
+func (s *Server) tryAcquire(name string) bool {
+	if s.adm.tryAcquire(name) {
 		s.met.sweepsInflight.Inc()
 		return true
-	default:
-		return false
 	}
+	return false
 }
 
-func (s *Server) release() {
+func (s *Server) release(name string) {
 	s.met.sweepsInflight.Dec()
-	<-s.admission
+	s.adm.release(name)
 }
 
 // serveCached is the compute-endpoint spine: an LRU lookup, then a
-// singleflight-guarded, admission-bounded, deadline-bounded computation.
-// Identical concurrent requests compute once; repeats are O(1) cache hits
-// and are never shed.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, contentType, key string, compute func(ctx context.Context) ([]byte, error)) {
+// singleflight-guarded, admission-bounded, deadline-bounded computation
+// paid for out of the requesting tenant's budget. Identical concurrent
+// requests compute once; repeats are O(1) cache hits and are never shed,
+// rate-limited, or charged. cost is the request's estimated price in
+// design-point evaluations.
+//
+// Tenant enforcement happens in two places. The rate limit runs before
+// the singleflight, so a flooding tenant is refused even when its
+// requests would all coalesce. The budget charge and the weighted
+// admission slot live inside the Do closure: concurrent duplicates share
+// one execution, so only the tenant whose request actually computes pays
+// for it — followers get the shared bytes free, exactly like a cache
+// hit.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, contentType, key string, cost int, compute func(ctx context.Context) ([]byte, error)) {
 	if body, ok := s.respCache.Get(key); ok {
 		s.met.cacheHits.Inc()
 		w.Header().Set("Content-Type", contentType)
@@ -130,22 +139,45 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, contentType
 		w.Write(body)
 		return
 	}
+	t := s.tenantFor(r)
+	if ok, wait := t.AllowRequest(); !ok {
+		s.met.shed.Inc()
+		s.met.tenantShed(t.Name()).Inc()
+		w.Header().Set("Retry-After", s.retryAfter(wait))
+		http.Error(w, "tenant rate limit exceeded, retry later", http.StatusTooManyRequests)
+		return
+	}
 	s.met.cacheMisses.Inc()
 	body, hit, err := s.respCache.Do(key, func() ([]byte, error) {
-		if !s.tryAcquire() {
+		if ok, wait := t.ChargeEvals(cost); !ok {
+			return nil, &errBudget{wait: wait}
+		}
+		s.met.tenantEvals(t.Name()).Add(int64(cost))
+		if !s.tryAcquire(t.Name()) {
+			t.RefundEvals(cost)
 			return nil, errSaturated
 		}
-		defer s.release()
+		defer s.release(t.Name())
+		s.met.tenantAdmitted(t.Name()).Inc()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
 		return compute(ctx)
 	})
+	var budgetErr *errBudget
 	switch {
 	case err == nil:
 	case errors.Is(err, errSaturated):
 		s.met.shed.Inc()
-		w.Header().Set("Retry-After", retryAfter())
+		s.met.tenantShed(t.Name()).Inc()
+		w.Header().Set("Retry-After", s.retryAfter(0))
 		http.Error(w, "sweep pool saturated, retry later", http.StatusTooManyRequests)
+		return
+	case errors.As(err, &budgetErr):
+		s.met.shed.Inc()
+		s.met.tenantShed(t.Name()).Inc()
+		setBudgetHeaders(w, t)
+		w.Header().Set("Retry-After", s.retryAfter(budgetErr.wait))
+		http.Error(w, "tenant compute budget exhausted, retry later", http.StatusTooManyRequests)
 		return
 	case errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, "computation exceeded the request deadline", http.StatusGatewayTimeout)

@@ -1,0 +1,102 @@
+package server
+
+import "net/http"
+
+// routeSpec is one public API route: the mux registration and the
+// metadata the OpenAPI generator renders. buildHandler and OpenAPIJSON
+// both iterate apiRoutes(), so adding a route here updates the served
+// API and its published description in the same place — they cannot
+// drift.
+type routeSpec struct {
+	method  string
+	pattern string // net/http mux pattern; {name} segments become path parameters
+	summary string
+	tag     string
+	handler func(*Server, http.ResponseWriter, *http.Request)
+	// query documents the route's query parameters (name -> description).
+	query []querySpec
+	// jsonBody marks routes that take a JSON request body.
+	jsonBody bool
+}
+
+type querySpec struct {
+	name string
+	desc string
+}
+
+func apiRoutes() []routeSpec {
+	return []routeSpec{
+		{method: "GET", pattern: "/healthz", tag: "ops",
+			summary: "Liveness probe (503 while draining).",
+			handler: (*Server).handleHealthz},
+		{method: "GET", pattern: "/metrics", tag: "ops",
+			summary: "Prometheus text exposition.",
+			handler: (*Server).handleMetrics},
+		{method: "GET", pattern: "/v1/openapi.json", tag: "ops",
+			summary: "This document.",
+			handler: (*Server).handleOpenAPI},
+		{method: "POST", pattern: "/v1/characterize", tag: "compute", jsonBody: true,
+			summary: "Array characterization of one design point.",
+			handler: (*Server).handleCharacterize},
+		{method: "POST", pattern: "/v1/evaluate", tag: "compute", jsonBody: true,
+			summary: "Application-level metrics for one design point under one benchmark.",
+			handler: (*Server).handleEvaluate},
+		{method: "POST", pattern: "/v1/sweep", tag: "compute", jsonBody: true,
+			summary: "Points x benchmarks evaluation grid.",
+			handler: (*Server).handleSweep},
+		{method: "POST", pattern: "/v1/pareto", tag: "compute", jsonBody: true,
+			summary: "Pareto-optimal internal organizations for one design point.",
+			handler: (*Server).handlePareto},
+		{method: "POST", pattern: "/v1/jobs", tag: "jobs", jsonBody: true,
+			summary: "Submit an async job (sweep, artifact, ingest, characterize, evaluate); responds 202 with the deterministic job ID.",
+			handler: (*Server).handleJobSubmit},
+		{method: "GET", pattern: "/v1/jobs", tag: "jobs",
+			summary: "Job table ordered by ID, filterable and paginated.",
+			handler: (*Server).handleJobList,
+			query: []querySpec{
+				{"state", "keep only jobs in this state (queued, running, done, failed, cancelled)"},
+				{"limit", "page size; the response carries next_cursor when more jobs remain"},
+				{"cursor", "opaque cursor from the previous page's next_cursor"},
+			}},
+		{method: "GET", pattern: "/v1/jobs/{id}", tag: "jobs",
+			summary: "Job state and progress. With Accept: text/event-stream, streams every status change as SSE until the job is terminal; with ?wait=, long-polls for the next change.",
+			handler: (*Server).handleJobStatus,
+			query: []querySpec{
+				{"wait", "long-poll duration (e.g. 30s, capped at 5m): block until state or progress changes, the job finishes, or the timeout lapses"},
+			}},
+		{method: "GET", pattern: "/v1/jobs/{id}/result", tag: "jobs",
+			summary: "Finished job payload (sweep/characterize/evaluate JSON, artifact CSV).",
+			handler: (*Server).handleJobResult},
+		{method: "DELETE", pattern: "/v1/jobs/{id}", tag: "jobs",
+			summary: "Cancel a queued or running job.",
+			handler: (*Server).handleJobCancel},
+		{method: "POST", pattern: "/v1/workloads", tag: "workloads", jsonBody: true,
+			summary: "Ingest a custom workload (trace or generator spec) as an async job.",
+			handler: (*Server).handleWorkloadSubmit},
+		{method: "GET", pattern: "/v1/workloads", tag: "workloads",
+			summary: "Workload catalog: static SPEC entries plus every ingested workload.",
+			handler: (*Server).handleWorkloadList},
+		{method: "GET", pattern: "/v1/workloads/{name}", tag: "workloads",
+			summary: "One workload's source record.",
+			handler: (*Server).handleWorkloadGet},
+		{method: "GET", pattern: "/v1/workloads/{name}/artifacts/{artifact}", tag: "workloads",
+			summary: "A traffic-dependent artifact rendered for one workload.",
+			handler: (*Server).handleWorkloadArtifact,
+			query:   []querySpec{{"format", "csv or json (default json)"}}},
+		{method: "GET", pattern: "/v1/artifacts", tag: "artifacts",
+			summary: "Artifact catalog: names, titles, typed schemas.",
+			handler: (*Server).handleArtifactList},
+		{method: "GET", pattern: "/v1/artifacts/{name}", tag: "artifacts",
+			summary: "Any registry artifact (JSON, or CSV via ?format=csv / Accept: text/csv).",
+			handler: (*Server).handleArtifactByName,
+			query:   []querySpec{{"format", "csv or json (default json)"}}},
+		{method: "GET", pattern: "/v1/figures/{n}", tag: "artifacts",
+			summary: "Alias for /v1/artifacts/fig{n}.",
+			handler: (*Server).handleFigure,
+			query:   []querySpec{{"format", "csv or json (default json)"}}},
+		{method: "GET", pattern: "/v1/tables/{n}", tag: "artifacts",
+			summary: "Alias for /v1/artifacts/table{n}.",
+			handler: (*Server).handleTable,
+			query:   []querySpec{{"format", "csv or json (default json)"}}},
+	}
+}

@@ -30,6 +30,8 @@
 //	                             ?format=csv / Accept: text/csv)
 //	GET  /v1/figures/{n}         alias for /v1/artifacts/fig{n} (n in 1,3,4,5,6,7)
 //	GET  /v1/tables/{n}          alias for /v1/artifacts/table{n} (n in 1,2)
+//	GET  /v1/openapi.json        versioned OpenAPI document generated from the
+//	                             route table and the artifact registry
 //	POST /v1/cluster/register    (with -coordinator) worker replica joins
 //	POST /v1/cluster/heartbeat   worker liveness ping
 //	POST /v1/cluster/lease       worker pulls a leased grid range
@@ -42,6 +44,15 @@
 // The artifact routes are generic over the registry (coldtall.Artifacts);
 // no per-artifact handler code exists, so a new descriptor is served
 // automatically.
+//
+// Multi-tenancy: requests carrying an API key ("Authorization: Bearer" or
+// "X-Coldtall-Key") resolve to a named tenant with its own rate limit,
+// compute budget, concurrent-job quota, and fair-share weight (see
+// internal/tenant); keyless requests use the anonymous tier, which is
+// unlimited by default so single-tenant deployments behave exactly as
+// before. GET /v1/jobs/{id} additionally streams live progress as
+// Server-Sent Events when the client sends "Accept: text/event-stream",
+// or long-polls for the next change with ?wait=30s.
 package server
 
 import (
@@ -52,6 +63,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +75,7 @@ import (
 	"coldtall/internal/job"
 	"coldtall/internal/metrics"
 	"coldtall/internal/store"
+	"coldtall/internal/tenant"
 	"coldtall/internal/workload"
 )
 
@@ -105,6 +118,22 @@ type Config struct {
 	// expiry (0 selects the cluster package defaults).
 	LeaseTTL   time.Duration
 	LeaseUnits int
+	// TenantsFile, when set, loads named tenants (API keys, quotas,
+	// budgets, weights) from a JSON config; see internal/tenant. Empty
+	// keeps only the anonymous tier.
+	TenantsFile string
+	// DefaultQuota, when positive, is the compute budget (estimated
+	// design-point evaluations per budget window) applied to the default
+	// tier — including anonymous — when the tenants file does not set one.
+	DefaultQuota int64
+	// JobConcurrency bounds async jobs executing at once; queued jobs
+	// dispatch by priority class and tenant fair share (0 = job package
+	// default).
+	JobConcurrency int
+	// Scheduler selects the job dispatch order: job.SchedFair (default)
+	// or job.SchedFIFO (single-queue arrival order, kept for differential
+	// testing).
+	Scheduler string
 	// Logger receives structured access log lines and server lifecycle
 	// messages (stderr by default).
 	Logger *log.Logger
@@ -228,10 +257,19 @@ type Server struct {
 	coord     *cluster.Coordinator
 	jobs      *job.Manager
 	workloads *workload.Registry
+	tenants   *tenant.Registry
 	met       *serverMetrics
-	admission chan struct{}
+	adm       *admissionPool
 	handler   http.Handler
 	draining  atomic.Bool
+	// drainCh closes when the drain starts, before the listener stops
+	// accepting: live SSE subscribers flush a final event and disconnect
+	// so Shutdown is not held open by open streams.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	// openapi is the OpenAPI document, rendered once at construction from
+	// the route table and the artifact registry.
+	openapi []byte
 }
 
 // New builds a server around an existing study. The study's explorer (and
@@ -260,8 +298,21 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 		study:     study,
 		respCache: respCache,
 		met:       newServerMetrics(),
-		admission: make(chan struct{}, cfg.MaxInflight),
+		drainCh:   make(chan struct{}),
 	}
+	// The tenant registry: anonymous-only without a config file, so every
+	// pre-tenancy deployment keeps its exact behaviour.
+	topts := tenant.Options{DefaultQuota: cfg.DefaultQuota}
+	if cfg.TenantsFile != "" {
+		s.tenants, err = tenant.LoadFile(cfg.TenantsFile, topts)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		cfg.Logger.Printf("tenants: loaded %d from %s", len(s.tenants.Names())-1, cfg.TenantsFile)
+	} else {
+		s.tenants = tenant.New(topts)
+	}
+	s.adm = newAdmissionPool(cfg.MaxInflight, s.tenants.Weight)
 	s.respCache.SetOnEvict(func(n int) { s.met.evictions.Add(int64(n)) })
 	// The dynamic workload registry: the study resolves figure traffic
 	// through it, the job manager registers ingestions into it, and the
@@ -310,11 +361,14 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 		dist = s.coord
 	}
 	s.jobs, err = job.NewManager(study, job.Options{
-		Store:       s.st,
-		Workers:     cfg.JobWorkers,
-		Logger:      cfg.Logger,
-		Workloads:   s.workloads,
-		Distributor: dist,
+		Store:         s.st,
+		Workers:       cfg.JobWorkers,
+		Logger:        cfg.Logger,
+		Workloads:     s.workloads,
+		Distributor:   dist,
+		MaxConcurrent: cfg.JobConcurrency,
+		Scheduler:     cfg.Scheduler,
+		TenantWeight:  s.tenants.Weight,
 		OnIngest: func(res ingest.Result) {
 			s.met.workloadUploads.Inc()
 			s.met.traceBytes.Observe(float64(res.TraceBytes))
@@ -343,32 +397,20 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 			cfg.Logger.Printf("job recovery: resumed %d interrupted jobs", n)
 		}
 	}
+	s.openapi = OpenAPIJSON()
 	s.handler = s.buildHandler()
 	return s, nil
 }
 
-// buildHandler assembles the route table and the middleware chain.
+// buildHandler assembles the route table and the middleware chain. The
+// public API routes come from apiRoutes() — the same table the OpenAPI
+// document is generated from, so the two cannot drift.
 func (s *Server) buildHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
-	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("POST /v1/pareto", s.handlePareto)
-	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	mux.HandleFunc("POST /v1/workloads", s.handleWorkloadSubmit)
-	mux.HandleFunc("GET /v1/workloads", s.handleWorkloadList)
-	mux.HandleFunc("GET /v1/workloads/{name}", s.handleWorkloadGet)
-	mux.HandleFunc("GET /v1/workloads/{name}/artifacts/{artifact}", s.handleWorkloadArtifact)
-	mux.HandleFunc("GET /v1/artifacts", s.handleArtifactList)
-	mux.HandleFunc("GET /v1/artifacts/{name}", s.handleArtifactByName)
-	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
-	mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
+	for _, rt := range apiRoutes() {
+		h := rt.handler
+		mux.HandleFunc(rt.method+" "+rt.pattern, func(w http.ResponseWriter, r *http.Request) { h(s, w, r) })
+	}
 	if s.coord != nil {
 		// The cluster surface is worker-to-coordinator traffic: token-gated
 		// and registered as one prefix (the coordinator owns its routes).
@@ -379,9 +421,11 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	// Innermost to outermost: routes, body limits, observation, recovery.
+	// Innermost to outermost: routes, body limits, tenant auth,
+	// observation, recovery.
 	var h http.Handler = mux
 	h = s.limitBody(h)
+	h = s.authTenant(h)
 	h = s.observe(h)
 	h = s.recoverPanics(h)
 	return h
@@ -409,6 +453,31 @@ func (s *Server) Workloads() *workload.Registry { return s.workloads }
 // CacheStats reports response-cache effectiveness.
 func (s *Server) CacheStats() cache.Stats { return s.respCache.Stats() }
 
+// Tenants exposes the tenant registry (the CLI wires SIGHUP to Reload).
+func (s *Server) Tenants() *tenant.Registry { return s.tenants }
+
+// ReloadTenants re-reads the tenants file (SIGHUP hot reload). A failed
+// reload keeps the previous tenant set and returns the error.
+func (s *Server) ReloadTenants() error {
+	if err := s.tenants.Reload(); err != nil {
+		s.cfg.Logger.Printf("tenants: reload failed, keeping previous set: %v", err)
+		return err
+	}
+	s.cfg.Logger.Printf("tenants: reloaded %d from %s", len(s.tenants.Names())-1, s.cfg.TenantsFile)
+	return nil
+}
+
+// Draining returns a channel that closes when graceful shutdown begins;
+// streaming handlers select on it to flush a final event and disconnect
+// before the listener drain waits on them.
+func (s *Server) Draining() <-chan struct{} { return s.drainCh }
+
+// startDrain flips the health signal and releases every live stream.
+func (s *Server) startDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
 // Serve accepts connections on ln until ctx is done, then drains: the
 // listener closes (new connections are refused), in-flight requests run to
 // completion (bounded by DrainTimeout), and only then does Serve return.
@@ -425,7 +494,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return fmt.Errorf("server: %w", err)
 	case <-ctx.Done():
 	}
-	s.draining.Store(true)
+	s.startDrain()
 	s.cfg.Logger.Printf("draining: refusing new connections, finishing in-flight requests")
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()

@@ -358,8 +358,10 @@ func TestSaturationSheds429(t *testing.T) {
 		t.Fatalf("warmup: %d %s", rr.Code, rr.Body)
 	}
 	// Occupy the only admission slot, as a long-running sweep would.
-	s.admission <- struct{}{}
-	defer func() { <-s.admission }()
+	if !s.adm.tryAcquire("other") {
+		t.Fatal("could not occupy the admission slot")
+	}
+	defer s.adm.release("other")
 
 	rr := post(t, s.Handler(), "/v1/characterize", `{"cell":"SRAM","dies":4}`)
 	if rr.Code != http.StatusTooManyRequests {

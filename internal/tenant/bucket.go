@@ -1,0 +1,90 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a lazily refilled token bucket. Tokens are float64 so that
+// sub-unit refill rates (e.g. 0.5 requests/second) accumulate correctly
+// between takes, and the clock is injected so tests can drive refill
+// deterministically.
+//
+// A zero rate means "unlimited": take always succeeds and the bucket
+// never decrements. That zero-value behaviour is what preserves the
+// anonymous back-compat tier when no limits are configured.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	cap    float64 // burst ceiling; tokens never exceed this
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newBucket(rate, capacity float64, now func() time.Time) *bucket {
+	if now == nil {
+		now = time.Now
+	}
+	if capacity < rate {
+		capacity = rate // burst never below one second of refill
+	}
+	return &bucket{rate: rate, cap: capacity, tokens: capacity, last: now(), now: now}
+}
+
+// take withdraws n tokens. When the bucket holds fewer than n it leaves
+// the balance untouched and reports how long the caller must wait for
+// the deficit to refill — the figure that feeds load-aware Retry-After
+// hints. Unlimited buckets (rate <= 0) always grant.
+func (b *bucket) take(n float64) (ok bool, wait time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	deficit := n - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// give returns n tokens, clamped at the burst ceiling. Used to refund a
+// budget charge when an idempotent job submission turns out to be a
+// duplicate and no new work was created.
+func (b *bucket) give(n float64) {
+	if b == nil || b.rate <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	b.tokens += n
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+}
+
+// level reports the current balance and ceiling after refill.
+func (b *bucket) level() (tokens, capacity float64) {
+	if b == nil || b.rate <= 0 {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return b.tokens, b.cap
+}
+
+func (b *bucket) refillLocked() {
+	now := b.now()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.cap {
+			b.tokens = b.cap
+		}
+	}
+	b.last = now
+}

@@ -1,0 +1,104 @@
+package tenant
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic refill.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBucketBurstThenRefill(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(2, 4, clk.now) // 2 tokens/s, burst 4
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.take(1); !ok {
+			t.Fatalf("take %d refused within burst", i)
+		}
+	}
+	ok, wait := b.take(1)
+	if ok {
+		t.Fatal("take granted on empty bucket")
+	}
+	if wait != 500*time.Millisecond {
+		t.Fatalf("wait = %v, want 500ms for 1 token at 2/s", wait)
+	}
+
+	clk.advance(time.Second) // refills 2 tokens
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(1); !ok {
+			t.Fatalf("take %d refused after refill", i)
+		}
+	}
+	if ok, _ := b.take(1); ok {
+		t.Fatal("refill over-credited")
+	}
+}
+
+func TestBucketCapClampsRefill(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(2, 5, clk.now)
+	clk.advance(time.Hour)
+	tokens, capacity := b.level()
+	if tokens != 5 || capacity != 5 {
+		t.Fatalf("level = %v/%v, want 5/5 (clamped at cap)", tokens, capacity)
+	}
+
+	// A burst below one second of refill is raised to the refill rate.
+	raised := newBucket(10, 5, clk.now)
+	if _, capacity := raised.level(); capacity != 10 {
+		t.Fatalf("capacity = %v, want raised to rate 10", capacity)
+	}
+}
+
+func TestBucketGiveRefunds(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(1, 10, clk.now)
+	if ok, _ := b.take(10); !ok {
+		t.Fatal("initial burst refused")
+	}
+	b.give(3)
+	if ok, _ := b.take(3); !ok {
+		t.Fatal("refunded tokens not takeable")
+	}
+	b.give(100) // clamped at cap
+	if tokens, _ := b.level(); tokens != 10 {
+		t.Fatalf("tokens = %v, want clamp at 10", tokens)
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	b := newBucket(0, 0, newFakeClock().now)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.take(1); !ok {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+	var nilBucket *bucket
+	if ok, _ := nilBucket.take(1); !ok {
+		t.Fatal("nil bucket must behave as unlimited")
+	}
+}
+
+func TestBucketFractionalRate(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(0.5, 1, clk.now)
+	if ok, _ := b.take(1); !ok {
+		t.Fatal("burst refused")
+	}
+	ok, wait := b.take(1)
+	if ok || wait != 2*time.Second {
+		t.Fatalf("got ok=%v wait=%v, want refusal with 2s wait at 0.5/s", ok, wait)
+	}
+	clk.advance(2 * time.Second)
+	if ok, _ := b.take(1); !ok {
+		t.Fatal("fractional refill failed")
+	}
+}

@@ -1,0 +1,19 @@
+package tenant
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t. The server's auth middleware
+// attaches the resolved tenant here so every downstream layer —
+// admission, budget charging, job submission, metrics — sees the same
+// principal without re-authenticating.
+func NewContext(ctx context.Context, t *Tenant) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext extracts the tenant attached by NewContext.
+func FromContext(ctx context.Context) (*Tenant, bool) {
+	t, ok := ctx.Value(ctxKey{}).(*Tenant)
+	return t, ok
+}

@@ -4,7 +4,8 @@
 # enumerate exactly the same artifact names in the same (paper) order.
 # Both derive from coldtall.Artifacts(), so a mismatch means one surface
 # stopped iterating the registry — the regression this script exists to
-# catch.
+# catch. The OpenAPI document gets the same treatment: `coldtall openapi`
+# and the served /v1/openapi.json must be byte-identical.
 set -eu
 
 BIN="${TMPDIR:-/tmp}/coldtall-artifactcheck"
@@ -49,6 +50,26 @@ fi
 
 # One artifact end to end: the served CSV must open with its schema header.
 curl -fsS "$BASE/v1/artifacts/table1?format=csv" | head -1 | grep -q '^parameter,value$'
+
+# OpenAPI drift: the offline `coldtall openapi` document and the served
+# /v1/openapi.json must be byte-identical (both render from the same
+# route table + registry), and every artifact name must appear in it.
+WORK="$(mktemp -d)"
+"$BIN" openapi > "$WORK/cli-openapi.json"
+curl -fsS "$BASE/v1/openapi.json" > "$WORK/served-openapi.json"
+cmp "$WORK/cli-openapi.json" "$WORK/served-openapi.json" || {
+  echo "artifactcheck FAIL: CLI openapi output diverged from the served /v1/openapi.json" >&2
+  rm -rf "$WORK"
+  exit 1
+}
+for name in $CLI_NAMES; do
+  grep -q "\"$name\"" "$WORK/cli-openapi.json" || {
+    echo "artifactcheck FAIL: artifact $name missing from the OpenAPI document" >&2
+    rm -rf "$WORK"
+    exit 1
+  }
+done
+rm -rf "$WORK"
 
 kill -TERM "$PID"
 wait "$PID" || { echo "artifactcheck FAIL: server did not drain cleanly" >&2; exit 1; }

@@ -1,0 +1,150 @@
+#!/bin/sh
+# End-to-end gate for the multi-tenant surface, against a real
+# `coldtall serve -tenants`: key auth (401 on a bad key, anonymous tier
+# preserved), compute-budget exhaustion (429 with the X-Budget-* headers),
+# the priority-inversion check (an interactive job submitted behind queued
+# bulk work finishes first on a one-worker pool), SSE byte-identity
+# (`jobs watch` stdout equals the synchronous artifact CSV), per-tenant
+# metrics, a SIGHUP key rotation, and a clean SIGTERM drain with the
+# tenancy stack loaded.
+set -eu
+
+BIN="${TMPDIR:-/tmp}/coldtall-tenantcheck"
+ADDR="${COLDTALL_TENANTCHECK_ADDR:-127.0.0.1:18082}"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+
+go build -o "$BIN" ./cmd/coldtall
+
+# Three tenants: alice (interactive, roomy budget), bob (bulk), and
+# carol, whose two-evaluation budget exists to be exhausted.
+cat > "$WORK/tenants.json" <<'EOF'
+{
+  "tenants": [
+    {"name": "alice", "key": "alice-key", "weight": 2, "budget": 1000, "budget_window": "1h"},
+    {"name": "bob", "key": "bob-key", "weight": 1},
+    {"name": "carol", "key": "carol-key", "budget": 2, "budget_window": "1h"}
+  ]
+}
+EOF
+
+# One job at a time makes the dispatch order observable: whatever the
+# scheduler picks next is the only thing running.
+"$BIN" serve -addr "$ADDR" -tenants "$WORK/tenants.json" -job-concurrency 1 -store-dir "$WORK/store" &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "tenantcheck FAIL: /healthz never came up on $ADDR" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# --- key auth: bad key 401, good key 200, anonymous tier preserved ---
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -H 'Authorization: Bearer wrong-key' "$BASE/v1/jobs")"
+[ "$CODE" = "401" ] || { echo "tenantcheck FAIL: bad key answered $CODE, want 401" >&2; exit 1; }
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -H 'Authorization: Bearer alice-key' "$BASE/v1/jobs")"
+[ "$CODE" = "200" ] || { echo "tenantcheck FAIL: alice's key answered $CODE, want 200" >&2; exit 1; }
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs")"
+[ "$CODE" = "200" ] || { echo "tenantcheck FAIL: anonymous answered $CODE, want 200 (back-compat tier)" >&2; exit 1; }
+
+# --- budget exhaustion: carol's third distinct evaluation is a 429
+# carrying the budget headers and a Retry-After ---
+for cell in SRAM PCM; do
+  CODE="$(curl -s -o /dev/null -w '%{http_code}' -H 'Authorization: Bearer carol-key' \
+    -X POST -d "{\"cell\":\"$cell\"}" "$BASE/v1/characterize")"
+  [ "$CODE" = "200" ] || { echo "tenantcheck FAIL: carol's $cell answered $CODE within budget" >&2; exit 1; }
+done
+curl -s -D "$WORK/hdr.txt" -o /dev/null -H 'Authorization: Bearer carol-key' \
+  -X POST -d '{"cell":"STT-RAM"}' "$BASE/v1/characterize"
+grep -q '^HTTP/[0-9.]* 429' "$WORK/hdr.txt" || {
+  echo "tenantcheck FAIL: over-budget request was not a 429:" >&2
+  cat "$WORK/hdr.txt" >&2
+  exit 1
+}
+grep -qi '^x-budget-limit: 2' "$WORK/hdr.txt" || { echo "tenantcheck FAIL: 429 missing X-Budget-Limit: 2" >&2; exit 1; }
+grep -qi '^x-budget-remaining: 0' "$WORK/hdr.txt" || { echo "tenantcheck FAIL: 429 missing X-Budget-Remaining: 0" >&2; exit 1; }
+grep -qi '^retry-after:' "$WORK/hdr.txt" || { echo "tenantcheck FAIL: budget 429 missing Retry-After" >&2; exit 1; }
+# The spent entry stays a free cache hit.
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -H 'Authorization: Bearer carol-key' \
+  -X POST -d '{"cell":"SRAM"}' "$BASE/v1/characterize")"
+[ "$CODE" = "200" ] || { echo "tenantcheck FAIL: cache hit refused against an exhausted budget ($CODE)" >&2; exit 1; }
+
+# --- priority inversion: on a one-worker pool, an interactive job
+# submitted while bulk work is queued must finish before the queued bulk
+# job starts ---
+cat > "$WORK/bulk1.json" <<'EOF'
+{"kind":"ingest","ingest":{"name":"tenantcheck-bulk-1","generator":{"pattern":"zipf","zipf_skew":1.2,"working_set_bytes":33554432,"accesses":8000000,"seed":1}}}
+EOF
+cat > "$WORK/bulk2.json" <<'EOF'
+{"kind":"ingest","ingest":{"name":"tenantcheck-bulk-2","generator":{"pattern":"zipf","zipf_skew":1.2,"working_set_bytes":33554432,"accesses":8000000,"seed":2}}}
+EOF
+cat > "$WORK/interactive.json" <<'EOF'
+{"kind":"characterize","points":[{"cell":"3T-eDRAM","temperature_k":77}]}
+EOF
+"$BIN" jobs -server "$BASE" -api-key bob-key submit "$WORK/bulk1.json" > "$WORK/bulk1.txt"
+"$BIN" jobs -server "$BASE" -api-key bob-key submit "$WORK/bulk2.json" > "$WORK/bulk2.txt"
+"$BIN" jobs -server "$BASE" -api-key alice-key submit "$WORK/interactive.json" > "$WORK/interactive.txt"
+BULK2_ID="$(awk '{print $1; exit}' "$WORK/bulk2.txt")"
+INTERACTIVE_ID="$(awk '{print $1; exit}' "$WORK/interactive.txt")"
+"$BIN" jobs -server "$BASE" -api-key alice-key -poll 100ms wait "$INTERACTIVE_ID" > /dev/null
+"$BIN" jobs -server "$BASE" -api-key bob-key status "$BULK2_ID" > "$WORK/bulk2-after.txt"
+if grep -q ' done ' "$WORK/bulk2-after.txt"; then
+  echo "tenantcheck FAIL: priority inversion — queued bulk job finished before the interactive job:" >&2
+  cat "$WORK/bulk2-after.txt" >&2
+  exit 1
+fi
+# Let the bulk queue drain so the SIGTERM at the end is a clean stop.
+"$BIN" jobs -server "$BASE" -api-key bob-key -poll 200ms wait "$BULK2_ID" > /dev/null
+
+# --- SSE byte-identity: `jobs watch` stdout is the synchronous CSV ---
+"$BIN" jobs -server "$BASE" -api-key alice-key submit table1 > "$WORK/submit.txt"
+JOB_ID="$(awk '{print $1; exit}' "$WORK/submit.txt")"
+"$BIN" jobs -server "$BASE" -api-key alice-key watch "$JOB_ID" > "$WORK/watched.csv" 2> "$WORK/watch-progress.txt"
+curl -fsS "$BASE/v1/artifacts/table1?format=csv" > "$WORK/sync.csv"
+cmp "$WORK/watched.csv" "$WORK/sync.csv" || {
+  echo "tenantcheck FAIL: jobs watch stdout diverged from the synchronous CSV" >&2
+  exit 1
+}
+grep -q "$JOB_ID" "$WORK/watch-progress.txt" || {
+  echo "tenantcheck FAIL: jobs watch printed no progress on stderr" >&2
+  exit 1
+}
+
+# --- per-tenant metrics ---
+METRICS="$(curl -fsS "$BASE/metrics")"
+for series in 'coldtall_tenant_evals_spent_total{tenant="carol"}' \
+  'coldtall_tenant_shed_total{tenant="carol"}' \
+  'coldtall_tenant_admitted_total{tenant="carol"}'; do
+  echo "$METRICS" | grep -qF "$series" || {
+    echo "tenantcheck FAIL: /metrics missing $series" >&2
+    exit 1
+  }
+done
+
+# --- SIGHUP rotation: alice's key swaps in place, no restart ---
+sed 's/alice-key/alice-key-2/' "$WORK/tenants.json" > "$WORK/tenants2.json"
+mv "$WORK/tenants2.json" "$WORK/tenants.json"
+kill -HUP "$PID"
+i=0
+until [ "$(curl -s -o /dev/null -w '%{http_code}' -H 'Authorization: Bearer alice-key' "$BASE/v1/jobs")" = "401" ]; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "tenantcheck FAIL: rotated-out key still accepted after SIGHUP" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -H 'Authorization: Bearer alice-key-2' "$BASE/v1/jobs")"
+[ "$CODE" = "200" ] || { echo "tenantcheck FAIL: rotated-in key answered $CODE, want 200" >&2; exit 1; }
+
+# --- SIGTERM must drain and exit 0 with the tenancy stack loaded ---
+kill -TERM "$PID"
+wait "$PID" || { echo "tenantcheck FAIL: server did not drain cleanly" >&2; exit 1; }
+trap - EXIT
+rm -rf "$WORK"
+echo "tenantcheck OK: auth, budgets, fair-share priority, SSE identity, metrics, SIGHUP rotation, clean drain"
