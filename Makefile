@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tenantcheck tracecheck prunecheck clustercheck goldencheck fuzz vulncheck bench searchbench golden-update
+.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tenantcheck tracecheck prunecheck clustercheck techcheck goldencheck fuzz vulncheck bench searchbench golden-update
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,13 @@ clustercheck:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/cluster/... ./internal/server/...
 	./scripts/clustercheck.sh
+
+# Technology-backend gate: the gaincell/deepcryo/freqsweep artifacts
+# byte-compared between the CLI and a real serve over HTTP, plus the new
+# sweep axes (4 K gain cell, non-default core clock) characterized end to
+# end through the built binary.
+techcheck:
+	./scripts/techcheck.sh
 
 # Golden-artifact gate: every registered artifact re-generated and
 # byte-compared against testdata/golden/ (no -update), so a physics or

@@ -264,6 +264,86 @@ var artifacts = artifact.MustNew(
 			return nil
 		},
 	},
+	artifact.Descriptor[*Study]{
+		Name: "gaincell", File: "gaincell.csv", Paper: "Ext. (arXiv 2503.06304)",
+		Title: "Gain-cell extension: monolithically-stacked OS gain cell vs 3T-eDRAM across temperature (relative to 350K 1-die SRAM on namd)",
+		Columns: []report.Column{
+			str("design_point"), str("cell"), str("corner"), count("dies"), num("temperature_k", "K"),
+			num("retention_s", "s"), rel("rel_device_power"), rel("rel_total_power"),
+			rel("rel_latency"), rel("rel_area"), flagCol("slowdown"),
+		},
+		Scatters: []artifact.Scatter{{
+			Title: "Gain-cell total LLC power vs temperature", XLabel: "temperature (K)",
+			YLabel: "power rel. to 350K SRAM (namd)",
+			XCol:   "temperature_k", YCol: "rel_total_power", SeriesCol: "design_point",
+		}},
+		Build: func(ctx context.Context, s *Study, t *report.Table) error {
+			rows, err := s.WithContext(ctx).GainCellStudy()
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				if err := t.Append(r.Label, r.Cell, r.Corner, r.Dies, r.TemperatureK,
+					r.RetentionS, r.RelDevicePower, r.RelTotalPower,
+					r.RelLatency, r.RelArea, r.Slowdown); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	},
+	artifact.Descriptor[*Study]{
+		Name: "deepcryo", File: "deepcryo.csv", Paper: "Ext. (arXiv 2408.03308)",
+		Title: "Deep-cryogenic extension: SRAM and 3T-eDRAM from 4K to 300K with Carnot-scaled cooling (relative to 350K SRAM on namd)",
+		Columns: []report.Column{
+			str("cell"), num("temperature_k", "K"), num("cooler_w_per_w", "W/W"),
+			rel("rel_device_power"), rel("rel_total_power"), rel("rel_latency"),
+		},
+		Scatters: []artifact.Scatter{{
+			Title: "Total LLC power vs temperature, 4K-300K", XLabel: "temperature (K)",
+			YLabel: "power rel. to 350K SRAM (namd)",
+			XCol:   "temperature_k", YCol: "rel_total_power", SeriesCol: "cell",
+		}},
+		Build: func(ctx context.Context, s *Study, t *report.Table) error {
+			rows, err := s.WithContext(ctx).DeepCryoSweep()
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				if err := t.Append(r.Cell, r.TemperatureK, r.CoolerWPerW,
+					r.RelDevicePower, r.RelTotalPower, r.RelLatency); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	},
+	artifact.Descriptor[*Study]{
+		Name: "freqsweep", File: "freqsweep.csv", Paper: "Ext. (frequency axis)",
+		Title: "Frequency-axis extension: 350K SRAM and 77K 3T-eDRAM across core clocks under mcf (rel_perf = f x IPC vs the 5GHz SRAM baseline)",
+		Columns: []report.Column{
+			str("design_point"), str("cell"), num("temperature_k", "K"), num("frequency_hz", "Hz"),
+			rel("rel_ipc"), rel("rel_perf"), rel("rel_total_power"), flagCol("slowdown"),
+		},
+		Scatters: []artifact.Scatter{{
+			Title: "End-to-end performance vs core clock", XLabel: "frequency (Hz)",
+			YLabel: "perf rel. to 5GHz 350K SRAM",
+			XCol:   "frequency_hz", YCol: "rel_perf", SeriesCol: "design_point",
+		}},
+		Build: func(ctx context.Context, s *Study, t *report.Table) error {
+			rows, err := s.WithContext(ctx).FrequencySweep()
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				if err := t.Append(r.Label, r.Cell, r.TemperatureK, r.FrequencyHz,
+					r.RelIPC, r.RelPerf, r.RelTotalPower, r.Slowdown); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	},
 )
 
 // ArtifactDescriptor is the study-bound descriptor type — what consumers

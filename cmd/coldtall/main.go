@@ -17,6 +17,8 @@
 //	coldtall survey        # every survey datapoint vs the tentpoles
 //	coldtall thermal       # Sec. V-A self-consistent operating points
 //	coldtall traffic       # simulated vs static traffic calibration
+//	coldtall techaxes      # gain-cell, sub-77K and frequency extension sweeps
+//	coldtall gaincell|deepcryo|freqsweep   # the same, one registry artifact each
 //
 // Artifact registry (the declarative catalog behind figures, tables, CSV
 // export and the HTTP /v1/artifacts API — see internal/artifact):
@@ -28,6 +30,8 @@
 // Tools:
 //
 //	coldtall sweep -cell PCM -corner optimistic -dies 8 -temp 350
+//	coldtall sweep -cell OS-GC -style monolithic -dies 4 -temp 4
+//	coldtall sweep -cell SRAM -temp 77 -freq 10e9
 //	coldtall pareto -cell STT-RAM -dies 8
 //	coldtall eval -config study.json
 //	coldtall export -dir out
@@ -121,10 +125,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "sweep worker pool size: 0 = one per CPU, 1 = serial")
 	outDir := fs.String("dir", "out", "export: output directory for CSV files")
 	configPath := fs.String("config", "", "eval: path to a JSON study config")
-	cellName := fs.String("cell", "SRAM", "sweep: cell technology (SRAM, 3T-eDRAM, PCM, STT-RAM, RRAM, SOT-RAM)")
-	corner := fs.String("corner", "optimistic", "sweep: tentpole corner for eNVMs")
+	cellName := fs.String("cell", "SRAM", "sweep: cell technology (SRAM, 3T-eDRAM, PCM, STT-RAM, RRAM, SOT-RAM, OS-GC)")
+	corner := fs.String("corner", "optimistic", "sweep: tentpole corner for eNVMs and the OS gain cell")
 	dies := fs.Int("dies", 1, "sweep: stacked die count (1, 2, 4, 8)")
-	temp := fs.Float64("temp", 350, "sweep: operating temperature in kelvin")
+	temp := fs.Float64("temp", 350, "sweep: operating temperature in kelvin (4-400)")
+	style := fs.String("style", "", "sweep: 3D integration style (tsv, face-to-face, monolithic; empty = tsv)")
+	freq := fs.Float64("freq", 0, "sweep: core clock in Hz (0 = the Table I 5 GHz)")
 	addr := fs.String("addr", ":8080", "serve: listen address")
 	cacheSize := fs.Int("cache-size", 1024, "serve: response cache capacity in entries")
 	timeout := fs.Duration("timeout", 60*time.Second, "serve: per-request compute deadline")
@@ -150,7 +156,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, verify, artifacts, eval, export, sweep, pareto, serve, worker, jobs, workloads, openapi, all)")
+		return fmt.Errorf("missing subcommand (fig1..fig7, table1, table2, cooling, coldtall, reliability, exclusions, impact, nodes, survey, thermal, traffic, techaxes, gaincell, deepcryo, freqsweep, verify, artifacts, eval, export, sweep, pareto, serve, worker, jobs, workloads, openapi, all)")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -173,6 +179,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err := dispatch(ctx, cmd, study, w, cliFlags{
 		plot: *plot, outDir: *outDir, configPath: *configPath,
 		cellName: *cellName, corner: *corner, dies: *dies, temp: *temp,
+		style: *style, freq: *freq,
 		addr: *addr, cacheSize: *cacheSize, timeout: *timeout,
 		storeDir: *storeDir, jobWorkers: *jobWorkers, jobConcurrency: *jobConcurrency, scheduler: *schedMode,
 		server: *serverURL, poll: *poll,
@@ -198,6 +205,8 @@ type cliFlags struct {
 	cellName, corner   string
 	dies               int
 	temp               float64
+	style              string
+	freq               float64
 	addr               string
 	cacheSize          int
 	timeout            time.Duration
@@ -256,6 +265,8 @@ func dispatch(ctx context.Context, cmd string, study *coldtall.Study, w io.Write
 		return renderTrafficCalibration(w)
 	case "thermal":
 		return study.RenderThermal(w)
+	case "techaxes":
+		return study.RenderTechAxes(w)
 	case "verify":
 		return study.RenderVerify(w)
 	case "eval":
@@ -373,6 +384,8 @@ func (f cliFlags) parsePoint() (explorer.DesignPoint, error) {
 		Corner:       f.corner,
 		Dies:         f.dies,
 		TemperatureK: f.temp,
+		Style:        f.style,
+		FrequencyHz:  f.freq,
 	})
 }
 

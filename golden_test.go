@@ -145,7 +145,43 @@ func TestExportParallelism(t *testing.T) {
 			}
 		}
 	}
-	if got := fmt.Sprintf("%d", len(entries)); got != "11" {
-		t.Errorf("export wrote %s files, want 11", got)
+	if got := fmt.Sprintf("%d", len(entries)); got != "14" {
+		t.Errorf("export wrote %s files, want 14", got)
+	}
+}
+
+// seedArtifacts are the 11 artifact files that existed before the
+// technology-backend extension (gaincell/deepcryo/freqsweep). The
+// extension's contract is differential: these must stay byte-identical —
+// every new physics path (sub-77 K plateau, Arrhenius retention, frequency
+// scaling) activates only on axes no seed artifact exercises.
+var seedArtifacts = []string{
+	"fig1.csv", "fig3.csv", "fig4.csv", "fig5.csv", "fig6.csv", "fig7.csv",
+	"table1.csv", "table2.csv", "cooling.csv", "coldtall.csv", "reliability.csv",
+}
+
+// TestSeedArtifactsByteIdentical pins the differential contract by name:
+// all 11 pre-extension artifacts are still registered, still golden-pinned,
+// and a fresh serial study reproduces their committed bytes exactly.
+func TestSeedArtifactsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	for _, name := range seedArtifacts {
+		if !goldenNames[name] {
+			t.Fatalf("seed artifact %s vanished from the registry", name)
+		}
+	}
+	s := NewStudy()
+	s.SetParallelism(1)
+	got := buildArtifacts(t, s)
+	for _, name := range seedArtifacts {
+		want, err := os.ReadFile(goldenPath(name))
+		if err != nil {
+			t.Fatalf("missing golden for seed artifact %s: %v", name, err)
+		}
+		if !bytes.Equal(got[name], want) {
+			t.Errorf("seed artifact %s changed — the extension must be differential-silent on pre-existing outputs", name)
+		}
 	}
 }

@@ -62,7 +62,7 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Ports = 0 },
 		func(c *Config) { c.Ports = 9 },
 		func(c *Config) { c.Associativity = 0 },
-		func(c *Config) { c.Temperature = 4 },
+		func(c *Config) { c.Temperature = 2 },
 		func(c *Config) { c.Stack.Dies = 3 },
 		func(c *Config) { c.Cell.AreaF2 = -5 },
 		func(c *Config) { c.Node.Vdd = 0 },
@@ -98,7 +98,7 @@ func TestOrganizationConstraints(t *testing.T) {
 
 func TestCharacterizeRejectsInvalid(t *testing.T) {
 	cfg := DefaultLLC(cell.NewSRAM6T(), 350, stack.Planar())
-	cfg.Temperature = 10
+	cfg.Temperature = 2
 	if _, err := Characterize(cfg, Organization{Banks: 4, Rows: 512, Cols: 1024, ColumnMux: 4}); err == nil {
 		t.Error("expected temperature validation error")
 	}
@@ -623,9 +623,14 @@ func TestReadEnergyMagnitude(t *testing.T) {
 	}
 }
 
-func TestVdd4KRejected(t *testing.T) {
+func TestVddDeepCryoBounds(t *testing.T) {
 	n := tech.Node22HP()
-	if _, err := n.At(4); err == nil {
-		t.Error("4 K should be outside the CMOS model's range")
+	// 4 K is inside the deep-cryogenic extension's range; 2 K is below
+	// the supported floor.
+	if _, err := n.At(4); err != nil {
+		t.Errorf("4 K should characterize under the deep-cryo extension: %v", err)
+	}
+	if _, err := n.At(2); err == nil {
+		t.Error("2 K should be outside the model's range")
 	}
 }

@@ -97,7 +97,7 @@ func TestHTreeEnergyScalesWithPathLength(t *testing.T) {
 }
 
 func TestHTreeRejectsBadTemperature(t *testing.T) {
-	bad := tech.DeviceCorner{Temperature: 10}
+	bad := tech.DeviceCorner{Temperature: 2}
 	if _, err := newHTree(1e-6, 4, bad, 1); err == nil {
 		t.Error("out-of-range corner temperature should fail")
 	}

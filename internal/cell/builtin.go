@@ -91,6 +91,42 @@ func NewEDRAM1T1C() Cell {
 	}
 }
 
+// NewGainCellOS returns a mid-range monolithically-stackable
+// oxide-semiconductor two-transistor gain cell (IGZO-class write
+// transistor over a BEOL read transistor). Compared with the silicon 3T
+// gain cell it is denser, its femtoamp write-transistor off-current buys
+// seconds of 300 K retention (so refresh power is negligible at any
+// temperature), and its storage-node leakage is Arrhenius trap conduction
+// rather than silicon subthreshold (RetentionActEV). The prices are the
+// low-mobility oxide channel — weaker read current and a longer write
+// pulse — and a small but nonzero peripheral leakage.
+func NewGainCellOS() Cell {
+	return Cell{
+		Tech:          OSGC,
+		Name:          "osgc-2t",
+		Source:        "2T IGZO gain cell, BEOL-stackable (arXiv 2503.06304 class)",
+		AreaF2:        32, // BEOL cell over logic: denser than 3T, no Si footprint
+		AspectRatio:   1.0,
+		WLCapF:        3e-17,
+		BLCapF:        2.5e-17,
+		Sense:         SenseVoltage,
+		ReadCurrentA:  8e-6, // oxide-channel read device: ~2.5x weaker than 3T
+		ReadVoltage:   0.10,
+		MinSenseTimeS: 0,
+		WritePulseS:   5e-9, // IGZO mobility limits the write path
+		WriteEnergyJ:  2e-16,
+		WriteCurrentA: 0,
+		SubLeakRel:    1e-4, // oxide devices: no Si subthreshold path
+		FloorLeakRel:  0.02,
+		// Seconds-class room-temperature retention from the fA/um
+		// off-current, with Arrhenius temperature behaviour (~0.45 eV
+		// trap activation typical of IGZO off-state conduction).
+		Retention300S:   5.0,
+		RetentionActEV:  0.45,
+		EnduranceCycles: math.Inf(1),
+	}
+}
+
 // NewPCM returns a mid-range phase-change (GST mushroom, 1T1R) cell.
 func NewPCM() Cell {
 	return Cell{
@@ -210,6 +246,8 @@ func Builtin(t Technology) (Cell, error) {
 		return NewRRAM(), nil
 	case SOTRAM:
 		return NewSOTRAM(), nil
+	case OSGC:
+		return NewGainCellOS(), nil
 	default:
 		return Cell{}, errUnknownTechnology(t)
 	}

@@ -42,12 +42,18 @@ const (
 	// SOTRAM is spin-orbit-torque magnetic RAM (faster writes than STT at
 	// the cost of read latency and a larger 2-transistor cell).
 	SOTRAM
+	// OSGC is the monolithically-stackable oxide-semiconductor (IGZO/ITO
+	// channel) two-transistor gain cell: a BEOL-compatible dynamic cell
+	// whose femtoamp-class write-transistor off-current gives seconds of
+	// room-temperature retention — the "tall" eDRAM candidate of the
+	// gain-cell LLC literature (arXiv 2503.06304 class).
+	OSGC
 	numTechnologies
 )
 
 // Technologies returns all supported technologies in display order.
 func Technologies() []Technology {
-	return []Technology{SRAM, EDRAM3T, EDRAM1T1C, PCM, STTRAM, RRAM, SOTRAM}
+	return []Technology{SRAM, EDRAM3T, EDRAM1T1C, OSGC, PCM, STTRAM, RRAM, SOTRAM}
 }
 
 // String returns the canonical short name.
@@ -67,6 +73,8 @@ func (t Technology) String() string {
 		return "RRAM"
 	case SOTRAM:
 		return "SOT-RAM"
+	case OSGC:
+		return "OS-GC"
 	default:
 		return fmt.Sprintf("Technology(%d)", int(t))
 	}
@@ -174,6 +182,15 @@ type Cell struct {
 	// Retention300S is the data retention time at 300 K in seconds;
 	// +Inf for static and non-volatile cells.
 	Retention300S float64
+	// RetentionActEV, when positive, selects an Arrhenius retention model
+	// for cells whose storage-node leakage is not silicon subthreshold
+	// conduction: retention scales as exp((Ea/k)(1/T - 1/300)) with
+	// activation energy Ea in electron-volts, down to a
+	// temperature-insensitive floor. The oxide-semiconductor gain cell
+	// uses it (its IGZO write transistor's off-current is
+	// thermally-activated trap conduction, not Si subthreshold); zero
+	// keeps the legacy silicon subthreshold + floor mix.
+	RetentionActEV float64
 	// EnduranceCycles is the write endurance; +Inf for SRAM/eDRAM.
 	EnduranceCycles float64
 	// DestructiveRead indicates reads that must be followed by a
@@ -210,6 +227,7 @@ func (c Cell) Validate() error {
 		nonneg(c.SubLeakRel, "SubLeakRel"),
 		nonneg(c.FloorLeakRel, "FloorLeakRel"),
 		pos(c.Retention300S, "Retention300S"),
+		nonneg(c.RetentionActEV, "RetentionActEV"),
 		pos(c.EnduranceCycles, "EnduranceCycles"),
 	} {
 		if e != nil {
@@ -278,6 +296,17 @@ func (c Cell) LeakagePower(corner tech.DeviceCorner) float64 {
 func (c Cell) Retention(corner tech.DeviceCorner) float64 {
 	if math.IsInf(c.Retention300S, 1) {
 		return math.Inf(1)
+	}
+	if c.RetentionActEV > 0 {
+		// Arrhenius storage-node leakage (oxide-semiconductor write
+		// transistor): leak(T)/leak(300) = exp((Ea/k)(1/300 - 1/T)),
+		// with the same style of temperature-insensitive floor capping
+		// the cryogenic gain (~1e4x) that the silicon path has.
+		const osRetentionFloorFrac = 1e-4
+		ea := c.RetentionActEV / tech.BoltzmannEV
+		s300 := 1.0 + osRetentionFloorFrac
+		sT := math.Exp(ea*(1/tech.TempRoom-1/corner.Temperature)) + osRetentionFloorFrac
+		return c.Retention300S * s300 / sT
 	}
 	// Storage-node leakage mix at 300 K vs at T. The floor fraction of
 	// the retention-limiting leakage is ~3e-5 at 300 K, limiting the

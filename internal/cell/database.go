@@ -90,6 +90,51 @@ func Database() []DatabaseEntry {
 		mk(SOTRAM, "sot-b", "VLSI", 2019, 42.0, 3.0, 0.22, 1.0, 0.35, 65, 10, 8e14),
 		mk(SOTRAM, "sot-c", "ISSCC", 2020, 34.0, 2.2, 0.15, 0.7, 0.25, 55, 12, 1e15),
 		mk(SOTRAM, "sot-d", "IEDM", 2020, 50.0, 3.5, 0.25, 1.2, 0.4, 70, 9, 5e14),
+
+		// --- OS gain cell: oxide-semiconductor 2T gain cells from the
+		// monolithic-3D eDRAM literature (2021-2024 IGZO/ITO macros and
+		// the arXiv 2503.06304 LLC design study). Voltage-sensed and
+		// volatile like the silicon gain cell, but with seconds-class
+		// 300 K retention (fA-class write-transistor off-current, ~0.4-0.5
+		// eV Arrhenius activation), slower oxide-channel writes and
+		// weaker reads. Endurance is field-effect-unlimited.
+		mkGC(OSGC, "osgc-a", "IEDM", 2021, 45.0, 0.5, 10, 0.30, 5, 1.2, 0.40),
+		mkGC(OSGC, "osgc-b", "VLSI", 2022, 30.0, 0.3, 6, 0.22, 8, 3.0, 0.45),
+		mkGC(OSGC, "osgc-c", "IEDM", 2022, 55.0, 0.8, 15, 0.35, 4, 0.8, 0.42),
+		mkGC(OSGC, "osgc-d", "ISSCC", 2023, 25.0, 0.25, 4, 0.18, 10, 12.0, 0.48),
+		mkGC(OSGC, "osgc-e", "IEDM", 2024, 20.0, 0.2, 3, 0.15, 12, 30.0, 0.50),
+	}
+}
+
+// mkGC builds one oxide-semiconductor gain-cell survey entry: a
+// voltage-sensed volatile cell with finite Arrhenius retention, in
+// contrast with mk's current-sensed non-volatile eNVM shape.
+func mkGC(tech Technology, name, venue string, year int,
+	areaF2, senseNS, writeNS, writeFJ, readUA, retentionS, actEV float64) DatabaseEntry {
+	return DatabaseEntry{
+		Venue: venue,
+		Year:  year,
+		Cell: Cell{
+			Tech:            tech,
+			Name:            name,
+			Source:          venue,
+			AreaF2:          areaF2,
+			AspectRatio:     1.0,
+			WLCapF:          3e-17,
+			BLCapF:          2.5e-17,
+			Sense:           SenseVoltage,
+			ReadCurrentA:    readUA * 1e-6,
+			ReadVoltage:     0.10,
+			MinSenseTimeS:   senseNS * 1e-9,
+			WritePulseS:     writeNS * 1e-9,
+			WriteEnergyJ:    writeFJ * 1e-15,
+			WriteCurrentA:   0,
+			SubLeakRel:      1e-4,
+			FloorLeakRel:    0.02,
+			Retention300S:   retentionS,
+			RetentionActEV:  actEV,
+			EnduranceCycles: math.Inf(1),
+		},
 	}
 }
 

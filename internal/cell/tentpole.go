@@ -59,6 +59,16 @@ func Tentpole(t Technology, corner Corner) (Cell, error) {
 		best.WriteCurrentA = favorSmall(best.WriteCurrentA, e.WriteCurrentA)
 		best.ReadCurrentA = favorLarge(best.ReadCurrentA, e.ReadCurrentA)
 		best.EnduranceCycles = favorLarge(best.EnduranceCycles, e.EnduranceCycles)
+		// Volatile-cell axes, composed the same way for the gain-cell
+		// survey: long retention, low leakage and a shallow retention
+		// activation (shorter hot-corner retention loss) are favourable.
+		// For the eNVM entries every one of these is identical (infinite
+		// retention, zero leakage, zero activation), so the composition
+		// is the identity there and the historical corners are unchanged.
+		best.Retention300S = favorLarge(best.Retention300S, e.Retention300S)
+		best.RetentionActEV = favorSmall(best.RetentionActEV, e.RetentionActEV)
+		best.SubLeakRel = favorSmall(best.SubLeakRel, e.SubLeakRel)
+		best.FloorLeakRel = favorSmall(best.FloorLeakRel, e.FloorLeakRel)
 	}
 	return best, nil
 }
@@ -86,6 +96,8 @@ func techSlug(t Technology) string {
 		return "rram"
 	case SOTRAM:
 		return "sot"
+	case OSGC:
+		return "osgc"
 	case SRAM:
 		return "sram"
 	case EDRAM3T:

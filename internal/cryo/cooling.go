@@ -13,6 +13,7 @@ package cryo
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"coldtall/internal/tech"
@@ -68,6 +69,49 @@ func (c CoolerClass) Overhead() float64 {
 	default:
 		return 9.65
 	}
+}
+
+// Sub-77 K overhead scaling. The survey numbers above are specific powers
+// at the 77 K liquid-nitrogen point. Colder stages reject the same heat
+// across a larger temperature lift, so the ideal (Carnot) specific power
+// grows as (Tambient-T)/T — and real machines additionally lose
+// second-law efficiency as the cold end drops (a 4 K plant runs at a few
+// percent of Carnot versus tens of percent at 77 K; Strobridge's classic
+// cryocooler survey). Both effects are folded in below: the class overhead
+// is Carnot-ratio-scaled from its 77 K anchor and multiplied by an
+// efficiency penalty (77/T)^0.5, which lands the 100 kW class near
+// ~1100 W/W at 4 K — the right order for large helium plants.
+const (
+	// deepCryoBoundaryK is the temperature at and above which the flat
+	// survey overheads apply unchanged (all existing artifacts operate at
+	// 77 K or warmer and are byte-identical by construction).
+	deepCryoBoundaryK = 77.0
+	// carnotRejectionK is the ambient heat-rejection temperature.
+	carnotRejectionK = 300.0
+	// deepCryoEfficiencyExp shapes the efficiency penalty below 77 K.
+	deepCryoEfficiencyExp = 0.5
+)
+
+// carnotSpecificPower returns the ideal W-per-W of a reversible
+// refrigerator lifting heat from t to ambient.
+func carnotSpecificPower(t float64) float64 {
+	return (carnotRejectionK - t) / t
+}
+
+// OverheadAt returns the cooler input power per watt removed at an
+// operating temperature: the flat survey value at or above 77 K, and the
+// Carnot-scaled, efficiency-penalized extension below it.
+func (c CoolerClass) OverheadAt(tempK float64) float64 {
+	base := c.Overhead()
+	if tempK >= deepCryoBoundaryK {
+		return base
+	}
+	if tempK <= 0 {
+		tempK = 1 // guard; ValidateTemperature bounds real callers at 4 K
+	}
+	carnotRatio := carnotSpecificPower(tempK) / carnotSpecificPower(deepCryoBoundaryK)
+	penalty := math.Pow(deepCryoBoundaryK/tempK, deepCryoEfficiencyExp)
+	return base * carnotRatio * penalty
 }
 
 // CapacityWatts returns the heat-removal capacity of the class in watts.
@@ -128,12 +172,14 @@ func (c Cooling) Applies(temperatureK float64) bool {
 
 // TotalPower returns device power plus cooling power at the given operating
 // temperature: devicePower*(1+overhead) when cooling applies, devicePower
-// otherwise.
+// otherwise. The overhead is temperature-resolved: flat at the survey
+// value for 77 K and warmer cooled points, Carnot-scaled below 77 K (see
+// CoolerClass.OverheadAt).
 func (c Cooling) TotalPower(devicePowerW, temperatureK float64) float64 {
 	if !c.Applies(temperatureK) {
 		return devicePowerW
 	}
-	return devicePowerW * (1 + c.Class.Overhead())
+	return devicePowerW * (1 + c.Class.OverheadAt(temperatureK))
 }
 
 // CoolingPower returns only the cooler input power for the device load.
@@ -154,6 +200,13 @@ func (c Cooling) WithinCapacity(devicePowerW float64) bool {
 // should consume 10.65 times less power than 300K systems" (100 kW class).
 func (c Cooling) BreakEvenReduction() float64 {
 	return 1 + c.Class.Overhead()
+}
+
+// BreakEvenReductionAt is BreakEvenReduction resolved at an operating
+// temperature: the device-power reduction a cooled design must achieve for
+// total power to break even with uncooled operation at that temperature.
+func (c Cooling) BreakEvenReductionAt(tempK float64) float64 {
+	return 1 + c.Class.OverheadAt(tempK)
 }
 
 // LN bath cooling thermal budget (Section V-A): the conventional
@@ -192,4 +245,12 @@ func OverheadCurve() [][2]float64 {
 // plus the 350 K normalization anchor.
 func EffectiveTemperatures() []float64 {
 	return []float64{tech.TempCryo77, 127, 177, 227, 277, 327, tech.TempHot350, tech.TempTDP387}
+}
+
+// DeepTemperatures returns the operating points of the deep-cryogenic
+// extension sweep: the helium (4 K), hydrogen-class (20 K) and
+// intermediate (40 K) stages below the paper's 77 K point, then the warm
+// tail up to the 300 K ambient anchor.
+func DeepTemperatures() []float64 {
+	return []float64{4, 10, 20, 40, tech.TempCryo77, 127, 200, 250, tech.TempRoom}
 }

@@ -38,8 +38,8 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 			t.Errorf("mutation %d should fail validation", i)
 		}
 	}
-	if _, err := New(DDR4(), 10); err == nil {
-		t.Error("10 K should be out of range")
+	if _, err := New(DDR4(), 2); err == nil {
+		t.Error("2 K should be out of range")
 	}
 }
 

@@ -297,6 +297,11 @@ func (e *Explorer) EvaluateContext(ctx context.Context, p DesignPoint, tr worklo
 	if err := tr.Validate(); err != nil {
 		return Evaluation{}, err
 	}
+	// The static traffic table is stated at the Table I 5 GHz clock; a
+	// point with a frequency override generates proportionally scaled
+	// demand. At the default clock this is exactly the identity, so every
+	// historical evaluation is bit-for-bit unchanged.
+	tr = tr.AtFrequency(p.Frequency())
 	r, err := e.CharacterizeContext(ctx, p)
 	if err != nil {
 		return Evaluation{}, err

@@ -63,9 +63,14 @@ func TestDesignPointValidate(t *testing.T) {
 		t.Error("empty label should fail")
 	}
 	bad = Baseline()
-	bad.Temperature = 4
+	bad.Temperature = 2
 	if err := bad.Validate(); err == nil {
-		t.Error("4 K should fail")
+		t.Error("2 K should fail (below the deep-cryo floor)")
+	}
+	bad = Baseline()
+	bad.FrequencyHz = 1e6
+	if err := bad.Validate(); err == nil {
+		t.Error("1 MHz clock should fail (below MinFrequencyHz)")
 	}
 	bad = Baseline()
 	bad.Dies = 3

@@ -21,33 +21,41 @@ import (
 
 func FuzzParsePoint(f *testing.F) {
 	// Golden cache-key seeds: (cell, corner, style, dies, temperature_k,
-	// capacity_bytes).
+	// capacity_bytes, frequency_hz).
 	seeds := []struct {
 		cell, corner, style string
 		dies                int
 		tempK               float64
 		capacity            int64
+		freqHz              float64
 	}{
-		{"SRAM", "", "", 0, 0, 0},                       // the baseline, all defaults
-		{"SRAM", "optimistic", "tsv", 1, 77, 0},         // Fig. 1 cryogenic endpoint
-		{"3T-eDRAM", "", "tsv", 1, 77, 0},               // Fig. 3/4 cold volatile
-		{"1T1C-eDRAM", "", "", 1, 350, 0},               // builtin with ignored corner
-		{"PCM", "optimistic", "tsv", 8, 350, 0},         // Fig. 6/7 tentpole
-		{"PCM", "pessimistic", "tsv", 4, 350, 0},        //
-		{"STT-RAM", "optimistic", "tsv", 2, 350, 0},     //
-		{"STT-RAM", "pessimistic", "tsv", 1, 350, 0},    //
-		{"RRAM", "optimistic", "monolithic", 4, 350, 0}, //
-		{"RRAM", "pessimistic", "face-to-face", 2, 350, 0},
-		{"SOT-RAM", "optimistic", "tsv", 1, 350, 32 << 20}, // capacity override
-		{"FeRAM", "typical", "bga", 3, -40, -1},            // invalid on every axis
+		{"SRAM", "", "", 0, 0, 0, 0},                       // the baseline, all defaults
+		{"SRAM", "optimistic", "tsv", 1, 77, 0, 0},         // Fig. 1 cryogenic endpoint
+		{"3T-eDRAM", "", "tsv", 1, 77, 0, 0},               // Fig. 3/4 cold volatile
+		{"1T1C-eDRAM", "", "", 1, 350, 0, 0},               // builtin with ignored corner
+		{"PCM", "optimistic", "tsv", 8, 350, 0, 0},         // Fig. 6/7 tentpole
+		{"PCM", "pessimistic", "tsv", 4, 350, 0, 0},        //
+		{"STT-RAM", "optimistic", "tsv", 2, 350, 0, 0},     //
+		{"STT-RAM", "pessimistic", "tsv", 1, 350, 0, 0},    //
+		{"RRAM", "optimistic", "monolithic", 4, 350, 0, 0}, //
+		{"RRAM", "pessimistic", "face-to-face", 2, 350, 0, 0},
+		{"SOT-RAM", "optimistic", "tsv", 1, 350, 32 << 20, 0}, // capacity override
+		{"OS-GC", "optimistic", "monolithic", 4, 77, 0, 0},    // gain-cell sweep point
+		{"OS-GC", "pessimistic", "monolithic", 2, 4, 0, 0},    // deep-cryo gain cell
+		{"SRAM", "", "tsv", 1, 4, 0, 0},                       // 4 K characterization
+		{"SRAM", "", "tsv", 1, 350, 0, 2.5e9},                 // frequency override
+		{"3T-eDRAM", "", "tsv", 1, 77, 0, 1e10},               // cryo-boosted clock
+		{"SRAM", "", "tsv", 1, 350, 0, 5e9},                   // explicit default clock
+		{"FeRAM", "typical", "bga", 3, -40, -1, -5},           // invalid on every axis
 	}
 	for _, s := range seeds {
-		f.Add(s.cell, s.corner, s.style, s.dies, s.tempK, s.capacity)
+		f.Add(s.cell, s.corner, s.style, s.dies, s.tempK, s.capacity, s.freqHz)
 	}
-	f.Fuzz(func(t *testing.T, cellName, corner, style string, dies int, tempK float64, capacity int64) {
+	f.Fuzz(func(t *testing.T, cellName, corner, style string, dies int, tempK float64, capacity int64, freqHz float64) {
 		spec := PointSpec{
 			Cell: cellName, Corner: corner, Style: style,
 			Dies: dies, TemperatureK: tempK, CapacityBytes: capacity,
+			FrequencyHz: freqHz,
 		}
 		p, err := ParsePoint(spec)
 		if err != nil {

@@ -15,6 +15,15 @@ import (
 	"coldtall/internal/cell"
 	"coldtall/internal/stack"
 	"coldtall/internal/tech"
+	"coldtall/internal/workload"
+)
+
+// Core-clock bounds for the frequency axis. The paper's system runs at a
+// fixed 5 GHz (Table I); the sweep axis admits anything from a deeply
+// throttled 100 MHz part to an aggressive 20 GHz cryo-boosted clock.
+const (
+	MinFrequencyHz = 1e8
+	MaxFrequencyHz = 2e10
 )
 
 // DesignPoint is one LLC technology choice: a cell, an operating
@@ -36,6 +45,19 @@ type DesignPoint struct {
 	// Node overrides the process technology; the zero value keeps the
 	// paper's 22 nm HP node.
 	Node tech.Node
+	// FrequencyHz overrides the core clock; 0 keeps the paper's 5 GHz
+	// (Table I). The clock scales both the cycle time the AMAT model
+	// converts latencies with and the LLC traffic the workloads generate.
+	FrequencyHz float64
+}
+
+// Frequency returns the point's core clock in hertz (the Table I 5 GHz
+// default unless overridden).
+func (p DesignPoint) Frequency() float64 {
+	if p.FrequencyHz > 0 {
+		return p.FrequencyHz
+	}
+	return workload.DefaultFrequencyHz
 }
 
 // Validate reports configuration errors.
@@ -48,6 +70,10 @@ func (p DesignPoint) Validate() error {
 	}
 	if err := tech.ValidateTemperature(p.Temperature); err != nil {
 		return err
+	}
+	if p.FrequencyHz != 0 && (p.FrequencyHz < MinFrequencyHz || p.FrequencyHz > MaxFrequencyHz) {
+		return fmt.Errorf("explorer: frequency %.3g Hz outside supported range [%.0e, %.0e]",
+			p.FrequencyHz, MinFrequencyHz, MaxFrequencyHz)
 	}
 	return (stack.Config{Dies: p.Dies, Style: p.Style}).Validate()
 }
@@ -71,9 +97,15 @@ func (p DesignPoint) arrayConfig() array.Config {
 	return cfg
 }
 
-// Key returns a stable identity for caching.
+// Key returns a stable identity for caching. Points at the default 5 GHz
+// clock keep the historical key shape (no frequency segment), so every
+// cache entry persisted before the frequency axis existed stays valid.
 func (p DesignPoint) Key() string {
-	return fmt.Sprintf("%s|%s|%.0f|%d|%v|%d|%s", p.Cell.Name, p.Cell.Tech, p.Temperature, p.Dies, p.Style, p.CapacityBytes, p.Node.Name)
+	k := fmt.Sprintf("%s|%s|%.0f|%d|%v|%d|%s", p.Cell.Name, p.Cell.Tech, p.Temperature, p.Dies, p.Style, p.CapacityBytes, p.Node.Name)
+	if f := p.Frequency(); f != workload.DefaultFrequencyHz {
+		k += fmt.Sprintf("|f%.4g", f)
+	}
+	return k
 }
 
 // Capacity returns the point's LLC capacity in bytes (the Table I 16 MiB
@@ -98,6 +130,14 @@ func (p DesignPoint) WithCapacity(bytes int64) DesignPoint {
 	out := p
 	out.CapacityBytes = bytes
 	out.Label = fmt.Sprintf("%s %dMiB", p.Label, bytes>>20)
+	return out
+}
+
+// WithFrequency returns a copy of the point at a different core clock.
+func (p DesignPoint) WithFrequency(hz float64) DesignPoint {
+	out := p
+	out.FrequencyHz = hz
+	out.Label = fmt.Sprintf("%s @%.2gGHz", p.Label, hz/1e9)
 	return out
 }
 
@@ -126,6 +166,25 @@ func EDRAMAt(temperature float64) DesignPoint {
 		Dies:        1,
 		Style:       stack.TSVStack,
 	}
+}
+
+// GainCellAt returns a monolithically-stacked oxide-semiconductor
+// gain-cell LLC at the given tentpole corner, temperature and die count.
+// Monolithic integration is the gain cell's home turf: the BEOL-compatible
+// IGZO transistors are fabricated directly in the upper metal layers, so
+// the stacking style defaults to Monolithic rather than TSV.
+func GainCellAt(corner cell.Corner, temperature float64, dies int) (DesignPoint, error) {
+	c, err := cell.Tentpole(cell.OSGC, corner)
+	if err != nil {
+		return DesignPoint{}, err
+	}
+	return DesignPoint{
+		Label:       fmt.Sprintf("%d-die OS-GC (%s) @%.0fK", dies, corner, temperature),
+		Cell:        c,
+		Temperature: temperature,
+		Dies:        dies,
+		Style:       stack.Monolithic,
+	}, nil
 }
 
 // Baseline returns the universal normalization point: 1-die SRAM at 350 K.

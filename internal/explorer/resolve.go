@@ -6,6 +6,7 @@ import (
 
 	"coldtall/internal/cell"
 	"coldtall/internal/stack"
+	"coldtall/internal/workload"
 )
 
 // PointSpec is the wire-level description of a design point the CLI flags
@@ -27,6 +28,8 @@ type PointSpec struct {
 	Style string `json:"style,omitempty"`
 	// CapacityBytes overrides the paper's 16 MiB LLC when positive.
 	CapacityBytes int64 `json:"capacity_bytes,omitempty"`
+	// FrequencyHz is the core clock (the Table I 5 GHz when zero).
+	FrequencyHz float64 `json:"frequency_hz,omitempty"`
 }
 
 // withDefaults returns the spec with zero values replaced by the study's
@@ -43,6 +46,9 @@ func (ps PointSpec) withDefaults() PointSpec {
 	}
 	if ps.Style == "" {
 		ps.Style = stack.TSVStack.String()
+	}
+	if ps.FrequencyHz == 0 {
+		ps.FrequencyHz = workload.DefaultFrequencyHz
 	}
 	return ps
 }
@@ -81,13 +87,18 @@ func ParsePoint(spec PointSpec) (DesignPoint, error) {
 	if err != nil {
 		return DesignPoint{}, err
 	}
+	label := fmt.Sprintf("%d-die %s @%.0fK", spec.Dies, c.Name, spec.TemperatureK)
+	if spec.FrequencyHz != workload.DefaultFrequencyHz {
+		label += fmt.Sprintf(" @%.2gGHz", spec.FrequencyHz/1e9)
+	}
 	p := DesignPoint{
-		Label:         fmt.Sprintf("%d-die %s @%.0fK", spec.Dies, c.Name, spec.TemperatureK),
+		Label:         label,
 		Cell:          c,
 		Temperature:   spec.TemperatureK,
 		Dies:          spec.Dies,
 		Style:         style,
 		CapacityBytes: spec.CapacityBytes,
+		FrequencyHz:   spec.FrequencyHz,
 	}
 	if err := p.Validate(); err != nil {
 		return DesignPoint{}, err
@@ -111,6 +122,7 @@ func (p DesignPoint) Spec() PointSpec {
 		TemperatureK:  p.Temperature,
 		Style:         p.Style.String(),
 		CapacityBytes: p.CapacityBytes,
+		FrequencyHz:   p.Frequency(),
 	}
 }
 

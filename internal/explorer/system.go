@@ -105,12 +105,18 @@ func (e *Explorer) SystemImpact(p DesignPoint, prof workload.Profile, mem dram.M
 	if err != nil {
 		return Impact{}, err
 	}
-	base, err := e.amat(Baseline(), mp, mem)
+	// The IPC comparison holds the clock fixed at the point's own
+	// frequency on both sides: RelIPC isolates what the LLC choice does to
+	// the CPU. A frequency *sweep* layers the clock ratio back on top
+	// (performance ∝ f × IPC) against the 5 GHz baseline.
+	bp := Baseline()
+	bp.FrequencyHz = p.FrequencyHz
+	base, err := e.amat(bp, mp, mem)
 	if err != nil {
 		return Impact{}, err
 	}
 
-	cycle := 1.0 / workload.FrequencyHz
+	cycle := 1.0 / p.Frequency()
 	memPerInstr := prof.MemOpsPerKiloInstr / 1000
 	// Split the benchmark's nominal CPI into an execution core and the
 	// baseline memory component, then swap the memory component.
@@ -142,7 +148,7 @@ func (e *Explorer) amat(p DesignPoint, mp missProfile, mem dram.Model) (float64,
 	if err != nil {
 		return 0, err
 	}
-	cycle := 1.0 / workload.FrequencyHz
+	cycle := 1.0 / p.Frequency()
 	tL1 := l1HitCycles * cycle
 	tL2 := l2HitCycles * cycle
 	tLLC := r.ReadLatency

@@ -52,8 +52,8 @@ func TestNodeValidateRejectsThresholdAboveSupply(t *testing.T) {
 }
 
 func TestNodeAtRejectsOutOfRangeTemperature(t *testing.T) {
-	if _, err := Node22HP().At(4.2); err == nil {
-		t.Error("expected error for 4.2 K (below supported range)")
+	if _, err := Node22HP().At(3.5); err == nil {
+		t.Error("expected error for 3.5 K (below supported range)")
 	}
 	if _, err := Node22HP().At(500); err == nil {
 		t.Error("expected error for 500 K")
@@ -91,10 +91,10 @@ func TestCornerAt300IsNominal(t *testing.T) {
 func TestMustAtPanicsOnBadTemperature(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("MustAt(10) should panic")
+			t.Error("MustAt(2) should panic")
 		}
 	}()
-	Node22HP().MustAt(10)
+	Node22HP().MustAt(2)
 }
 
 func TestNodePresetsValidate(t *testing.T) {

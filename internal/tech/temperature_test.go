@@ -114,12 +114,12 @@ func TestThresholdVoltageRisesWhenCooled(t *testing.T) {
 }
 
 func TestValidateTemperatureBounds(t *testing.T) {
-	for _, bad := range []float64{0, 50, 69.9, 400.1, 1000, -10} {
+	for _, bad := range []float64{0, 3.9, 400.1, 1000, -10} {
 		if err := ValidateTemperature(bad); err == nil {
 			t.Errorf("ValidateTemperature(%g) = nil, want error", bad)
 		}
 	}
-	for _, good := range []float64{70, 77, 300, 350, 387, 400} {
+	for _, good := range []float64{4, 20, 50, 70, 77, 300, 350, 387, 400} {
 		if err := ValidateTemperature(good); err != nil {
 			t.Errorf("ValidateTemperature(%g) = %v, want nil", good, err)
 		}

@@ -24,8 +24,8 @@ func TestNewWireUnknownLayer(t *testing.T) {
 }
 
 func TestNewWireBadTemperature(t *testing.T) {
-	if _, err := NewWire(WireGlobal, 10); err == nil {
-		t.Error("expected error for 10 K")
+	if _, err := NewWire(WireGlobal, 2); err == nil {
+		t.Error("expected error for 2 K (below the 4 K model floor)")
 	}
 }
 

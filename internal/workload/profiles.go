@@ -23,8 +23,14 @@ import (
 
 // Machine constants from Table I.
 const (
-	// FrequencyHz is the core clock.
-	FrequencyHz = 5e9
+	// DefaultFrequencyHz is the Table I core clock. Every static traffic
+	// table and profile calibration is stated at this clock; the explorer
+	// rescales traffic for design points that override it (the frequency
+	// axis of the extension studies).
+	DefaultFrequencyHz = 5e9
+	// FrequencyHz is the historical name of DefaultFrequencyHz, kept for
+	// callers that predate the per-point frequency axis.
+	FrequencyHz = DefaultFrequencyHz
 	// Cores is the number of rate copies.
 	Cores = 8
 )
@@ -217,8 +223,17 @@ func Measure(p Profile, accesses int, seed int64) (Traffic, error) {
 // copies. It is the single formula shared by profile calibration, llcsim,
 // and trace ingestion.
 func Extrapolate(name string, llcReads, llcWrites, accesses uint64, memOpsPerKiloInstr, ipc float64) Traffic {
+	return ExtrapolateAtFrequency(name, llcReads, llcWrites, accesses, memOpsPerKiloInstr, ipc, DefaultFrequencyHz)
+}
+
+// ExtrapolateAtFrequency is Extrapolate with an explicit core clock: the
+// same access counts imply proportionally less simulated wall-clock time at
+// a faster clock, so LLC rates scale linearly with frequency. It is the
+// formula the per-point frequency axis threads through — Extrapolate is the
+// Table I specialization.
+func ExtrapolateAtFrequency(name string, llcReads, llcWrites, accesses uint64, memOpsPerKiloInstr, ipc, frequencyHz float64) Traffic {
 	instructions := float64(accesses) * 1000 / memOpsPerKiloInstr
-	seconds := instructions / ipc / FrequencyHz
+	seconds := instructions / ipc / frequencyHz
 	return Traffic{
 		Benchmark:    name,
 		ReadsPerSec:  float64(llcReads) / seconds * Cores,

@@ -17,6 +17,21 @@ type Traffic struct {
 	WritesPerSec float64 `json:"writes_per_sec"`
 }
 
+// AtFrequency rescales the traffic to a different core clock: the rates
+// are stated at the Table I 5 GHz clock, and a core issuing the same
+// instruction stream at frequency f generates LLC accesses f/5GHz as fast.
+// The default frequency (or zero) returns the receiver unchanged — exact,
+// so default-clock evaluations stay byte-identical.
+func (t Traffic) AtFrequency(frequencyHz float64) Traffic {
+	if frequencyHz == 0 || frequencyHz == DefaultFrequencyHz {
+		return t
+	}
+	scale := frequencyHz / DefaultFrequencyHz
+	t.ReadsPerSec *= scale
+	t.WritesPerSec *= scale
+	return t
+}
+
 // WriteReadRatio returns writes per read (0 when idle).
 func (t Traffic) WriteReadRatio() float64 {
 	if t.ReadsPerSec == 0 {

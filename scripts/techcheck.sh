@@ -1,0 +1,80 @@
+#!/bin/sh
+# End-to-end gate for the technology-backend extension: the three new
+# registry artifacts (gaincell, deepcryo, freqsweep) must serve over HTTP
+# byte-identically to the CLI's CSV rendering, and the new sweep axes must
+# characterize through the CLI — including a 4 K deep-cryogenic gain-cell
+# point and a non-default core clock. The CLI and the server both render
+# from coldtall.Artifacts(), so a divergence means one surface stopped
+# going through the registry (or the study lost determinism).
+set -eu
+
+BIN="${TMPDIR:-/tmp}/coldtall-techcheck"
+ADDR="${COLDTALL_TECHCHECK_ADDR:-127.0.0.1:18084}"
+BASE="http://$ADDR"
+ARTIFACTS="gaincell deepcryo freqsweep"
+
+go build -o "$BIN" ./cmd/coldtall
+
+WORK="$(mktemp -d)"
+cleanup() {
+  kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+
+# CLI side first (also warms nothing the server can reuse — the server is a
+# separate process, so the byte comparison is a real determinism check).
+for name in $ARTIFACTS; do
+  "$BIN" artifacts -format csv "$name" > "$WORK/cli-$name.csv"
+  [ -s "$WORK/cli-$name.csv" ] || { echo "techcheck FAIL: CLI produced empty $name.csv" >&2; exit 1; }
+done
+
+"$BIN" serve -addr "$ADDR" &
+PID=$!
+trap cleanup EXIT
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "techcheck FAIL: /healthz never came up on $ADDR" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+for name in $ARTIFACTS; do
+  curl -fsS "$BASE/v1/artifacts/$name?format=csv" > "$WORK/http-$name.csv"
+  cmp "$WORK/cli-$name.csv" "$WORK/http-$name.csv" || {
+    echo "techcheck FAIL: $name.csv served over HTTP differs from the CLI bytes" >&2
+    exit 1
+  }
+done
+
+# Schema spot checks: each artifact opens with its registered header.
+head -1 "$WORK/cli-gaincell.csv" | grep -q '^design_point,cell,corner,dies,temperature_k,retention_s,' ||
+  { echo "techcheck FAIL: gaincell.csv header drifted" >&2; exit 1; }
+head -1 "$WORK/cli-deepcryo.csv" | grep -q '^cell,temperature_k,cooler_w_per_w,' ||
+  { echo "techcheck FAIL: deepcryo.csv header drifted" >&2; exit 1; }
+head -1 "$WORK/cli-freqsweep.csv" | grep -q '^design_point,cell,temperature_k,frequency_hz,rel_ipc,rel_perf,' ||
+  { echo "techcheck FAIL: freqsweep.csv header drifted" >&2; exit 1; }
+
+# The deep-cryo sweep must reach 4 K with a Carnot-inflated cooler ratio
+# (three-digit W/W at least; the flat 77 K figure is 9.65).
+awk -F, 'NR > 1 && $2 == 4 && $3 + 0 > 100 { found = 1 } END { exit !found }' "$WORK/cli-deepcryo.csv" ||
+  { echo "techcheck FAIL: deepcryo.csv has no 4 K row with a Carnot-scaled cooler overhead" >&2; exit 1; }
+
+# New sweep axes through the CLI: a 4 K monolithic gain-cell point and a
+# cryo-boosted 10 GHz point must both characterize end to end.
+"$BIN" sweep -cell OS-GC -corner optimistic -style monolithic -dies 4 -temp 4 > "$WORK/sweep-gc.txt"
+grep -q 'osgc-optimistic @4K' "$WORK/sweep-gc.txt" ||
+  { echo "techcheck FAIL: 4 K gain-cell sweep did not characterize" >&2; exit 1; }
+"$BIN" sweep -cell SRAM -temp 77 -freq 10e9 > "$WORK/sweep-freq.txt"
+grep -q '@10GHz' "$WORK/sweep-freq.txt" ||
+  { echo "techcheck FAIL: 10 GHz sweep did not carry the frequency axis" >&2; exit 1; }
+
+kill -TERM "$PID"
+wait "$PID" || { echo "techcheck FAIL: server did not drain cleanly" >&2; exit 1; }
+trap - EXIT
+rm -rf "$WORK"
+
+echo "techcheck OK: gaincell/deepcryo/freqsweep CLI and HTTP bytes agree; 4K and 10GHz points characterize"

@@ -59,8 +59,12 @@ func (s *Study) SurveySweep(benchmark string) ([]SurveyRow, error) {
 	}
 	var rows []SurveyRow
 	for _, entry := range cell.Database() {
-		if entry.Tech == cell.SOTRAM {
-			continue // not part of the paper's LLC study
+		switch entry.Tech {
+		case cell.PCM, cell.STTRAM, cell.RRAM:
+			// The paper's LLC study sweeps exactly these three eNVMs;
+			// SOT-RAM and the gain-cell survey have their own studies.
+		default:
+			continue
 		}
 		p := explorer.DesignPoint{
 			Label:       fmt.Sprintf("4-die %s", entry.Name),

@@ -22,7 +22,7 @@ func Table1() []Table1Row {
 		{"Class", "Desktop (based on Intel Skylake)"},
 		{"Num. cores", fmt.Sprintf("%d", workload.Cores)},
 		{"Process node", "22nm"},
-		{"Frequency", fmt.Sprintf("%.0f GHz", workload.FrequencyHz/1e9)},
+		{"Frequency", fmt.Sprintf("%.0f GHz", workload.DefaultFrequencyHz/1e9)},
 	}
 	for _, l := range cfg.Levels {
 		name := map[string]string{"L1D": "L1D$", "L2": "L2$", "LLC": "L3$"}[l.Name]
