@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tenantcheck tracecheck prunecheck clustercheck techcheck goldencheck fuzz vulncheck bench searchbench golden-update
+.PHONY: build test check vet fmtcheck race servecheck jobcheck smoke artifactcheck tenantcheck tracecheck prunecheck clustercheck techcheck wlcheck goldencheck fuzz vulncheck bench searchbench golden-update
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,18 @@ clustercheck:
 # end through the built binary.
 techcheck:
 	./scripts/techcheck.sh
+
+# Workload-intelligence gate: the signature, registry-alias, ingest,
+# distill and upload packages under the race detector (dedup byte-identity,
+# signature determinism, deletion ordering, chunk resume), plus the server
+# surface for the new routes, then the end-to-end script — dedup round-trip
+# with shared artifact bytes, distillation within tolerance, and a chunked
+# upload interrupted and resumed to the exact trace content address.
+wlcheck:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/signature/... ./internal/workload/... ./internal/ingest/... ./internal/distill/...
+	$(GO) test -race -run 'TestWorkload' ./internal/server/ ./cmd/coldtall/
+	./scripts/wlcheck.sh
 
 # Golden-artifact gate: every registered artifact re-generated and
 # byte-compared against testdata/golden/ (no -update), so a physics or

@@ -12,6 +12,16 @@ import (
 
 	"coldtall/internal/artifact"
 	"coldtall/internal/report"
+	"coldtall/internal/signature"
+	"coldtall/internal/workload"
+)
+
+// wlsigAccesses and wlsigSeed pin the wlsig artifact's stream: the rows
+// are a pure function of the profile table, so the golden harness can
+// hold them byte-stable.
+const (
+	wlsigAccesses = 1 << 15
+	wlsigSeed     = 1
 )
 
 // Column kind shorthands for the descriptor tables below.
@@ -338,6 +348,33 @@ var artifacts = artifact.MustNew(
 			for _, r := range rows {
 				if err := t.Append(r.Label, r.Cell, r.TemperatureK, r.FrequencyHz,
 					r.RelIPC, r.RelPerf, r.RelTotalPower, r.Slowdown); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	},
+	artifact.Descriptor[*Study]{
+		Name: "wlsig", File: "wlsig.csv", Paper: "Ext. (workload intelligence)",
+		Title: "Workload-intelligence extension: locality signatures of the built-in SPEC stand-in profiles " +
+			"(streamed at a pinned access count and seed; the same summary ingestion computes during replay)",
+		Columns: []report.Column{
+			str("benchmark"), count("accesses"), rel("read_frac"), rel("seq_frac"),
+			num("footprint_bytes", "B"), count("reuse_p50"), count("reuse_p90"), str("sig_sha256"),
+		},
+		Build: func(ctx context.Context, s *Study, t *report.Table) error {
+			for _, p := range workload.Profiles() {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				g, err := p.Generator(wlsigSeed)
+				if err != nil {
+					return err
+				}
+				sig := signature.FromGenerator(g, wlsigAccesses)
+				if err := t.Append(p.Name, wlsigAccesses, sig.ReadFrac(), sig.SeqFrac(),
+					float64(sig.FootprintBytes()), int(sig.ReuseQuantile(0.5)), int(sig.ReuseQuantile(0.9)),
+					sig.SHA256()[:16]); err != nil {
 					return err
 				}
 			}

@@ -20,6 +20,10 @@ import (
 //	coldtall workloads [-server URL] list
 //	coldtall workloads [-server URL] add <spec.json|->   # POST + wait, print the record
 //	coldtall workloads [-server URL] traffic <name>
+//	coldtall workloads [-server URL] sig <name>          # locality signature
+//	coldtall workloads [-server URL] similar <name>      # signature-distance ranking
+//	coldtall workloads [-server URL] distill <name>      # fit a generator, wait, print the fit
+//	coldtall workloads [-server URL] rm <name>
 //
 // add accepts an ingestion spec (a generator description or a base64
 // .ctrace payload — see internal/ingest) from a file or stdin, submits it,
@@ -35,8 +39,16 @@ func runWorkloads(ctx context.Context, w io.Writer, f cliFlags) error {
 		return c.add(ctx, w, f.args.arg(1), f.poll)
 	case "traffic":
 		return c.traffic(ctx, w, f.args.arg(1))
+	case "sig":
+		return c.sig(ctx, w, f.args.arg(1))
+	case "similar":
+		return c.similar(ctx, w, f.args.arg(1))
+	case "distill":
+		return c.distill(ctx, w, f.args.arg(1), f.poll)
+	case "rm":
+		return c.rm(ctx, w, f.args.arg(1))
 	}
-	return fmt.Errorf("unknown workloads verb %q (want list, add, traffic)", verb)
+	return fmt.Errorf("unknown workloads verb %q (want list, add, traffic, sig, similar, distill, rm)", verb)
 }
 
 // workloadsClient speaks the /v1/workloads API, reusing the jobs client
@@ -48,7 +60,13 @@ type workloadsClient struct {
 // getJSON issues one GET and decodes the JSON answer into out; non-2xx
 // responses surface the server's error text.
 func (c workloadsClient) getJSON(ctx context.Context, path string, out any) error {
-	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	return c.reqJSON(ctx, http.MethodGet, path, out)
+}
+
+// reqJSON issues one bodyless request and decodes the JSON answer into
+// out; non-2xx responses surface the server's error text.
+func (c workloadsClient) reqJSON(ctx context.Context, method, path string, out any) error {
+	req, err := c.newRequest(ctx, method, path, nil)
 	if err != nil {
 		return err
 	}
@@ -62,10 +80,10 @@ func (c workloadsClient) getJSON(ctx context.Context, path string, out any) erro
 		return err
 	}
 	if resp.StatusCode >= 300 {
-		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(payload)))
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(payload)))
 	}
 	if err := json.Unmarshal(payload, out); err != nil {
-		return fmt.Errorf("GET %s: decoding: %w", path, err)
+		return fmt.Errorf("%s %s: decoding: %w", method, path, err)
 	}
 	return nil
 }
@@ -151,6 +169,147 @@ func (c workloadsClient) traffic(ctx context.Context, w io.Writer, name string) 
 	if src.TraceSHA256 != "" {
 		fmt.Fprintf(w, "trace     = sha256:%s\n", src.TraceSHA256)
 	}
+	return nil
+}
+
+// sig prints a workload's locality signature summary — the compact reuse
+// and mix statistics the ingestion replay computed while streaming the
+// trace. Aliases answer with their canonical workload's signature, with
+// the resolution shown.
+func (c workloadsClient) sig(ctx context.Context, w io.Writer, name string) error {
+	if name == "" {
+		return fmt.Errorf("workloads sig: a workload name is required (see `coldtall workloads list`)")
+	}
+	var resp struct {
+		Workload  string `json:"workload"`
+		Canonical string `json:"canonical"`
+		SHA256    string `json:"sha256"`
+		Signature struct {
+			Accesses uint64 `json:"accesses"`
+		} `json:"signature"`
+		ReadFrac       float64 `json:"read_frac"`
+		SeqFrac        float64 `json:"seq_frac"`
+		FootprintBytes uint64  `json:"footprint_bytes"`
+		ReuseP50       uint64  `json:"reuse_p50"`
+		ReuseP90       uint64  `json:"reuse_p90"`
+	}
+	if err := c.getJSON(ctx, "/v1/workloads/"+name+"/signature", &resp); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "workload  = %s\n", resp.Workload)
+	if resp.Canonical != "" {
+		fmt.Fprintf(w, "canonical = %s (alias)\n", resp.Canonical)
+	}
+	fmt.Fprintf(w, "sha256    = %s\n", resp.SHA256)
+	fmt.Fprintf(w, "accesses  = %d\n", resp.Signature.Accesses)
+	fmt.Fprintf(w, "reads     = %.3f of accesses\n", resp.ReadFrac)
+	fmt.Fprintf(w, "seq       = %.3f of accesses\n", resp.SeqFrac)
+	fmt.Fprintf(w, "footprint = %d bytes\n", resp.FootprintBytes)
+	fmt.Fprintf(w, "reuse p50 = %d distinct blocks\n", resp.ReuseP50)
+	fmt.Fprintf(w, "reuse p90 = %d distinct blocks\n", resp.ReuseP90)
+	return nil
+}
+
+// similar prints the signature-distance ranking of the other registered
+// workloads: anything at or under the threshold is what ingest-time dedup
+// would have aliased.
+func (c workloadsClient) similar(ctx context.Context, w io.Writer, name string) error {
+	if name == "" {
+		return fmt.Errorf("workloads similar: a workload name is required (see `coldtall workloads list`)")
+	}
+	var resp struct {
+		Workload  string  `json:"workload"`
+		Threshold float64 `json:"threshold"`
+		Matches   []struct {
+			Name     string  `json:"name"`
+			Distance float64 `json:"distance"`
+		} `json:"matches"`
+	}
+	if err := c.getJSON(ctx, "/v1/workloads/"+name+"/similar", &resp); err != nil {
+		return err
+	}
+	if len(resp.Matches) == 0 {
+		fmt.Fprintf(w, "no other workloads carry a locality signature to compare %s against\n", resp.Workload)
+		return nil
+	}
+	for _, m := range resp.Matches {
+		line := fmt.Sprintf("%-16s distance %.4g", m.Name, m.Distance)
+		if m.Distance <= resp.Threshold {
+			line += "  (within dedup threshold)"
+		}
+		fmt.Fprintln(w, line)
+	}
+	return nil
+}
+
+// distill submits the trace-to-generator distillation job, waits for it,
+// and prints the fit: the recovered generator parameters, the relative
+// traffic error against the pinned tolerance, and the storage drop when
+// the trace bytes were replaced by the spec.
+func (c workloadsClient) distill(ctx context.Context, w io.Writer, name string, poll time.Duration) error {
+	if name == "" {
+		return fmt.Errorf("workloads distill: a workload name is required (see `coldtall workloads list`)")
+	}
+	st, err := c.do(ctx, http.MethodPost, "/v1/workloads/"+name+"/distill", nil)
+	if err != nil {
+		return err
+	}
+	for !st.State.Terminal() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+		if st, err = c.do(ctx, http.MethodGet, "/v1/jobs/"+st.ID, nil); err != nil {
+			return err
+		}
+	}
+	switch st.State {
+	case job.StateDone:
+	case job.StateFailed:
+		return fmt.Errorf("distill job %s failed: %s", st.ID, st.Error)
+	default:
+		return fmt.Errorf("distill job %s was cancelled", st.ID)
+	}
+	var res struct {
+		Workload     string          `json:"workload"`
+		Spec         json.RawMessage `json:"spec"`
+		RelErr       float64         `json:"rel_err"`
+		Tolerance    float64         `json:"tolerance"`
+		Accepted     bool            `json:"accepted"`
+		Evals        int             `json:"evals"`
+		TraceBytes   int             `json:"trace_bytes"`
+		SpecBytes    int             `json:"spec_bytes"`
+		StorageRatio float64         `json:"storage_ratio"`
+		TraceDeleted bool            `json:"trace_deleted"`
+	}
+	if err := c.getJSON(ctx, "/v1/jobs/"+st.ID+"/result", &res); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "workload  = %s\n", res.Workload)
+	fmt.Fprintf(w, "accepted  = %t (rel err %.4f vs tolerance %.4f, %d evals)\n", res.Accepted, res.RelErr, res.Tolerance, res.Evals)
+	if res.TraceBytes > 0 && res.SpecBytes > 0 {
+		fmt.Fprintf(w, "storage   = %d -> %d bytes (%.0fx)\n", res.TraceBytes, res.SpecBytes, res.StorageRatio)
+	}
+	fmt.Fprintf(w, "trace     = deleted %t\n", res.TraceDeleted)
+	fmt.Fprintf(w, "spec      = %s\n", res.Spec)
+	return nil
+}
+
+// rm deletes an ingested workload; the server refuses static names and
+// canonical entries that still have aliases (remove the aliases first).
+func (c workloadsClient) rm(ctx context.Context, w io.Writer, name string) error {
+	if name == "" {
+		return fmt.Errorf("workloads rm: a workload name is required (see `coldtall workloads list`)")
+	}
+	var resp struct {
+		Removed         workload.Source `json:"removed"`
+		PurgedResponses int             `json:"purged_responses"`
+	}
+	if err := c.reqJSON(ctx, http.MethodDelete, "/v1/workloads/"+name, &resp); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "removed %s (%s); purged %d cached responses\n", resp.Removed.Name, resp.Removed.Kind, resp.PurgedResponses)
 	return nil
 }
 

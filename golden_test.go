@@ -145,8 +145,8 @@ func TestExportParallelism(t *testing.T) {
 			}
 		}
 	}
-	if got := fmt.Sprintf("%d", len(entries)); got != "14" {
-		t.Errorf("export wrote %s files, want 14", got)
+	if got := fmt.Sprintf("%d", len(entries)); got != "15" {
+		t.Errorf("export wrote %s files, want 15", got)
 	}
 }
 

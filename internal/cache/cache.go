@@ -76,6 +76,35 @@ func (s *shard[V]) len() int {
 	return s.ll.Len()
 }
 
+// delete removes key and reports whether it was present.
+func (s *shard[V]) delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return false
+	}
+	s.ll.Remove(el)
+	delete(s.m, key)
+	return true
+}
+
+// deleteFunc removes every entry whose key the predicate accepts and
+// returns how many were removed.
+func (s *shard[V]) deleteFunc(pred func(key string) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for key, el := range s.m {
+		if pred(key) {
+			s.ll.Remove(el)
+			delete(s.m, key)
+			n++
+		}
+	}
+	return n
+}
+
 // Stats is a point-in-time view of cache effectiveness.
 type Stats struct {
 	// Hits and Misses count Get/Do lookups.
@@ -207,6 +236,25 @@ func (c *Cache[V]) Add(key string, v V) {
 	if c.tier != nil {
 		c.tier.Store(key, v)
 	}
+}
+
+// Delete removes key from the in-memory LRU and reports whether it was
+// present. The persistence tier is not touched — callers owning durable
+// entries delete them from their store directly (the Tier interface is
+// deliberately write-only from the cache's side).
+func (c *Cache[V]) Delete(key string) bool { return c.shardFor(key).delete(key) }
+
+// DeleteFunc removes every in-memory entry whose key the predicate
+// accepts and returns how many were removed. Used to invalidate all
+// cached renderings touching a removed workload, where the full key set
+// (sweep keys embed arbitrary benchmark combinations) is not enumerable
+// by the caller.
+func (c *Cache[V]) DeleteFunc(pred func(key string) bool) int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.deleteFunc(pred)
+	}
+	return n
 }
 
 // Do returns the value for key, computing it with fn on a miss. Concurrent

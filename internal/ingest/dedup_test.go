@@ -1,0 +1,281 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"coldtall/internal/signature"
+	"coldtall/internal/sim"
+	"coldtall/internal/store"
+	"coldtall/internal/trace"
+	"coldtall/internal/workload"
+)
+
+// dedupOptions builds Options with a live signature index and store.
+func dedupOptions(t *testing.T) (Options, *workload.Registry, *signature.Index, *store.Store) {
+	t.Helper()
+	reg := workload.NewRegistry()
+	idx := signature.NewIndex()
+	st := testStore(t)
+	return Options{Workloads: reg, Store: st, Sigs: idx}, reg, idx, st
+}
+
+// TestStreamingMatchesMaterialized is the differential harness pinning
+// the streaming-replay rewrite: an independent reference implementation
+// — materialize the whole []trace.Access, encode, replay serially with
+// the warmup quarter excluded — must agree byte-for-byte on the
+// canonical trace (content address), the measured window counters, and
+// the extrapolated Traffic.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	g, err := trace.NewZipf(trace.Region{Base: 1 << 30, Size: 16 << 20}, 1.2, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := trace.Collect(g, 80000)
+	var text bytes.Buffer
+	if err := trace.WriteText(&text, accesses); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference path: fully materialized, serial.
+	canonical := trace.EncodeBinary(accesses)
+	sum := sha256.Sum256(canonical)
+	wantSHA := hex.EncodeToString(sum[:])
+	eng, err := sim.NewSharded(sim.TableIConfig(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmup := len(accesses) / 4
+	if err := eng.Replay(context.Background(), accesses[:warmup]); err != nil {
+		t.Fatal(err)
+	}
+	atWarm := eng.Snapshot()
+	if err := eng.Replay(context.Background(), accesses[warmup:]); err != nil {
+		t.Fatal(err)
+	}
+	window := eng.Snapshot().Sub(atWarm)
+	wantTraffic := workload.Extrapolate("streamed", window.LLC().Reads, window.LLC().Writes,
+		window.Accesses, DefaultMemOpsPerKiloInstr, DefaultIPC)
+
+	// Streaming path under test, fed the text form so decode + canonical
+	// re-encode are both exercised.
+	res, err := Run(context.Background(), Spec{Name: "streamed", Trace: text.Bytes()},
+		Options{Workloads: workload.NewRegistry(), Shards: 16, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source.TraceSHA256 != wantSHA {
+		t.Fatalf("canonical trace address %s, want %s", res.Source.TraceSHA256, wantSHA)
+	}
+	if res.TraceBytes != len(canonical) {
+		t.Fatalf("TraceBytes = %d, want %d", res.TraceBytes, len(canonical))
+	}
+	if res.Source.Traffic != wantTraffic {
+		t.Fatalf("traffic drifted:\n got %+v\nwant %+v", res.Source.Traffic, wantTraffic)
+	}
+	if res.Stats.Accesses != window.Accesses || res.Stats.LLC() != window.LLC() {
+		t.Fatalf("window counters drifted:\n got %+v\nwant %+v", res.Stats, window)
+	}
+}
+
+// TestExactDuplicateAliases pins the dedup invariant: a byte-identical
+// re-upload under a second name registers an alias with zero replay work
+// — the progress callback (the replay's only side channel) must never
+// fire, and the measured window must be empty.
+func TestExactDuplicateAliases(t *testing.T) {
+	opts, reg, idx, st := dedupOptions(t)
+	orig, err := Run(context.Background(), genSpec("orig", 50000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Deduped {
+		t.Fatal("first upload deduped against an empty registry")
+	}
+	if orig.SignatureSHA256 == "" {
+		t.Fatal("first upload carries no signature address")
+	}
+	if _, ok := st.Get(signature.KeyPrefix + orig.Source.TraceSHA256); !ok {
+		t.Fatal("signature not persisted under sig|<trace sha>")
+	}
+
+	replays := 0
+	opts.OnProgress = func(done, total uint64) { replays++ }
+	copySpec := genSpec("copy", 50000) // identical generator -> identical canonical bytes
+	res, err := Run(context.Background(), copySpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replays != 0 {
+		t.Fatalf("exact duplicate replayed (%d progress callbacks), want zero work", replays)
+	}
+	if !res.Deduped || res.AliasOf != "orig" || res.DedupDistance != 0 {
+		t.Fatalf("dedup result = %+v", res)
+	}
+	if res.ReplaySeconds != 0 || res.Stats.Accesses != 0 {
+		t.Fatalf("alias result reports replay work: %+v", res)
+	}
+	if res.Source.Kind != workload.SourceAlias || res.Source.AliasOf != "orig" {
+		t.Fatalf("registered source = %+v", res.Source)
+	}
+	if res.SignatureSHA256 != orig.SignatureSHA256 {
+		t.Fatal("alias does not share the canonical signature address")
+	}
+	// The alias resolves to the canonical entry's traffic and is recorded
+	// in the registry, the store, and the signature index.
+	if tr, err := reg.Traffic("copy"); err != nil || tr != orig.Source.Traffic {
+		t.Fatalf("alias traffic = %+v, %v", tr, err)
+	}
+	if reg.Canonical("copy") != "orig" {
+		t.Fatal("Canonical(copy) != orig")
+	}
+	if _, ok := st.Get(WorkloadKeyPrefix + "copy"); !ok {
+		t.Fatal("alias record not persisted")
+	}
+	if s, ok := idx.Get("copy"); !ok || s.SHA256() != orig.SignatureSHA256 {
+		t.Fatal("alias signature not indexed")
+	}
+
+	// Re-running the alias spec is idempotent and still does zero work.
+	again, err := Run(context.Background(), copySpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replays != 0 || !again.Deduped || again.Source != res.Source {
+		t.Fatalf("alias re-run not idempotent: %+v", again)
+	}
+}
+
+// TestNearDuplicateAliases covers the signature-distance path: the same
+// generator under a different seed produces different bytes but the same
+// locality, so it aliases after one replay; a genuinely different
+// pattern does not.
+func TestNearDuplicateAliases(t *testing.T) {
+	zipf := func(name string, seed int64) Spec {
+		return Spec{Name: name, Generator: &GeneratorSpec{
+			Pattern: "zipf", WorkingSetBytes: 16 << 20, ZipfSkew: 1.2,
+			WriteFrac: 0.3, Accesses: 50000, Seed: seed,
+		}}
+	}
+	opts, reg, _, _ := dedupOptions(t)
+	base, err := Run(context.Background(), zipf("base", 1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := Run(context.Background(), zipf("near", 2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near.Deduped || near.AliasOf != "base" {
+		t.Fatalf("reseeded generator not deduped: %+v", near)
+	}
+	if near.DedupDistance <= 0 || near.DedupDistance > signature.DefaultThreshold {
+		t.Fatalf("dedup distance = %g", near.DedupDistance)
+	}
+	if near.Source.TraceSHA256 == base.Source.TraceSHA256 {
+		t.Fatal("test is vacuous: reseeded bytes are identical")
+	}
+	// The near-duplicate replay did happen once (stats measured).
+	if near.Stats.Accesses == 0 || near.ReplaySeconds == 0 {
+		t.Fatalf("near-duplicate skipped its one replay: %+v", near)
+	}
+	if tr, err := reg.Traffic("near"); err != nil || tr != base.Source.Traffic {
+		t.Fatalf("alias traffic = %+v, %v", tr, err)
+	}
+
+	// A streaming scan is far from the zipf loop: registers canonically.
+	far, err := Run(context.Background(), genSpec("far", 50000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Deduped {
+		t.Fatalf("distinct pattern deduped at distance %g", far.DedupDistance)
+	}
+	if far.Source.Kind != workload.SourceProfile {
+		t.Fatalf("far kind = %q", far.Source.Kind)
+	}
+}
+
+// TestDedupRespectsCoreModel: identical bytes under a different core
+// model must NOT alias — the alias would inherit traffic extrapolated
+// with the wrong IPC.
+func TestDedupRespectsCoreModel(t *testing.T) {
+	opts, _, _, _ := dedupOptions(t)
+	if _, err := Run(context.Background(), genSpec("modela", 50000), opts); err != nil {
+		t.Fatal(err)
+	}
+	other := genSpec("modelb", 50000)
+	other.IPC = 2.0
+	res, err := Run(context.Background(), other, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deduped {
+		t.Fatal("deduped across different core models")
+	}
+}
+
+// TestDedupDisabled pins the opt-out: a negative threshold registers even
+// byte-identical uploads as independent workloads.
+func TestDedupDisabled(t *testing.T) {
+	opts, reg, _, _ := dedupOptions(t)
+	opts.DedupThreshold = -1
+	if _, err := Run(context.Background(), genSpec("one", 50000), opts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), genSpec("two", 50000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deduped || res.Source.Kind == workload.SourceAlias {
+		t.Fatalf("dedup ran while disabled: %+v", res)
+	}
+	if len(reg.Custom()) != 2 {
+		t.Fatalf("registered %d workloads, want 2", len(reg.Custom()))
+	}
+}
+
+// TestRecoverAliasesAndSignatures: boot recovery rebuilds alias entries
+// (even when the store walk hands the alias over before its canonical
+// record) and the signature index.
+func TestRecoverAliasesAndSignatures(t *testing.T) {
+	opts, _, idx, st := dedupOptions(t)
+	// "zz-canon" sorts after "aa-alias", so the walk sees the alias first.
+	if _, err := Run(context.Background(), genSpec("zz-canon", 50000), opts); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), genSpec("aa-alias", 50000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deduped {
+		t.Fatal("setup: second upload not deduped")
+	}
+
+	fresh := workload.NewRegistry()
+	recovered, skipped, err := RecoverSources(st, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 2 || skipped != 0 {
+		t.Fatalf("recovered %d, skipped %d; want 2 and 0", recovered, skipped)
+	}
+	if fresh.Canonical("aa-alias") != "zz-canon" {
+		t.Fatal("alias not recovered")
+	}
+
+	freshIdx := signature.NewIndex()
+	if got := RecoverSignatures(st, fresh, freshIdx); got != 2 {
+		t.Fatalf("RecoverSignatures = %d, want 2", got)
+	}
+	want, _ := idx.Get("zz-canon")
+	if s, ok := freshIdx.Get("zz-canon"); !ok || s != want {
+		t.Fatal("recovered signature drifted")
+	}
+	// Recovery is nil-safe for stores without signatures.
+	if got := RecoverSignatures(nil, fresh, freshIdx); got != 0 {
+		t.Fatalf("nil-store recovery = %d", got)
+	}
+}

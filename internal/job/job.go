@@ -75,6 +75,9 @@ const (
 	// KindEvaluate evaluates one (Points[0], Benchmarks[0]) cell (the
 	// async form of POST /v1/evaluate, byte-identical to it).
 	KindEvaluate = "evaluate"
+	// KindDistill fits a compact generator spec to the Workload's stored
+	// trace (the async form of POST /v1/workloads/{name}/distill).
+	KindDistill = "distill"
 )
 
 // Class is a job's scheduling priority class. Interactive jobs — the
@@ -115,7 +118,7 @@ type Spec struct {
 
 	// Workload, when set on an artifact job, restricts a traffic-dependent
 	// artifact to one workload (static or ingested) instead of the full
-	// suite.
+	// suite; on a distill job it names the workload to distill.
 	Workload string `json:"workload,omitempty"`
 
 	// Ingest is the ingestion request (Kind == "ingest").
@@ -192,8 +195,16 @@ func (sp Spec) ValidateWith(resolve func(string) (workload.Traffic, error)) erro
 			return fmt.Errorf("job: benchmark: %w", err)
 		}
 		return nil
+	case KindDistill:
+		if sp.Workload == "" {
+			return fmt.Errorf("job: distill job needs a workload name")
+		}
+		if _, err := resolve(sp.Workload); err != nil {
+			return fmt.Errorf("job: workload: %w", err)
+		}
+		return nil
 	default:
-		return fmt.Errorf("job: unknown kind %q (want %q, %q, %q, %q, or %q)", sp.Kind, KindSweep, KindArtifact, KindIngest, KindCharacterize, KindEvaluate)
+		return fmt.Errorf("job: unknown kind %q (want %q, %q, %q, %q, %q, or %q)", sp.Kind, KindSweep, KindArtifact, KindIngest, KindCharacterize, KindEvaluate, KindDistill)
 	}
 }
 

@@ -14,10 +14,12 @@ import (
 
 	"coldtall"
 	"coldtall/internal/array"
+	"coldtall/internal/distill"
 	"coldtall/internal/explorer"
 	"coldtall/internal/ingest"
 	"coldtall/internal/parallel"
 	"coldtall/internal/report"
+	"coldtall/internal/signature"
 	"coldtall/internal/store"
 	"coldtall/internal/workload"
 )
@@ -41,6 +43,13 @@ type Options struct {
 	// into and sweep/artifact jobs resolve names through. nil restricts
 	// name resolution to the static table and rejects ingest jobs.
 	Workloads *workload.Registry
+	// Sigs is the locality-signature index ingest jobs dedup against and
+	// distill jobs read fitted signatures from; nil disables
+	// near-duplicate detection (exact-bytes dedup still applies).
+	Sigs *signature.Index
+	// DedupThreshold tunes ingest near-duplicate detection
+	// (ingest.Options.DedupThreshold semantics: 0 = default, < 0 = off).
+	DedupThreshold float64
 	// Distributor, when set, fans sweep cells and artifact
 	// characterizations out to cluster workers instead of the in-process
 	// pool (the coordinator wires itself in here). ErrNoWorkers from it
@@ -216,6 +225,20 @@ func (m *Manager) SubmitAs(spec Spec, owner string, maxLive int) (st Status, cre
 	case KindIngest:
 		if m.opts.Workloads == nil {
 			return Status{}, false, fmt.Errorf("job: this manager has no workload registry; ingest jobs are disabled")
+		}
+	case KindDistill:
+		if m.opts.Workloads == nil {
+			return Status{}, false, fmt.Errorf("job: this manager has no workload registry; distill jobs are disabled")
+		}
+		// Refuse undistillable workloads at submit time, so the client
+		// gets a synchronous 4xx instead of a queued job that fails.
+		if src, ok := m.opts.Workloads.Lookup(spec.Workload); ok {
+			switch src.Kind {
+			case workload.SourceStatic:
+				return Status{}, false, fmt.Errorf("job: %q is a static benchmark with no stored trace to distill", spec.Workload)
+			case workload.SourceAlias:
+				return Status{}, false, fmt.Errorf("job: %q is an alias; distill its canonical workload %q instead", spec.Workload, src.AliasOf)
+			}
 		}
 	}
 	id := spec.id()
@@ -686,6 +709,8 @@ func (m *Manager) run(ctx context.Context, j *Job) {
 		err = m.runCharacterize(ctx, j)
 	case KindEvaluate:
 		err = m.runEvaluate(ctx, j)
+	case KindDistill:
+		err = m.runDistill(ctx, j)
 	default:
 		err = fmt.Errorf("job: unknown kind %q", j.spec.Kind)
 	}
@@ -756,9 +781,11 @@ func (m *Manager) runArtifact(ctx context.Context, j *Job) error {
 // The job's result payload is the ingest result JSON.
 func (m *Manager) runIngest(ctx context.Context, j *Job) error {
 	res, err := ingest.Run(ctx, *j.spec.Ingest, ingest.Options{
-		Workloads: m.opts.Workloads,
-		Store:     m.opts.Store,
-		Workers:   m.opts.Workers,
+		Workloads:      m.opts.Workloads,
+		Store:          m.opts.Store,
+		Workers:        m.opts.Workers,
+		Sigs:           m.opts.Sigs,
+		DedupThreshold: m.opts.DedupThreshold,
 		OnProgress: func(done, total uint64) {
 			j.mu.Lock()
 			j.done, j.total = int(done), int(total)
@@ -771,6 +798,27 @@ func (m *Manager) runIngest(ctx context.Context, j *Job) error {
 	}
 	if m.opts.OnIngest != nil {
 		m.opts.OnIngest(res)
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	m.setResult(j, body, "application/json")
+	j.mu.Lock()
+	j.done = j.total
+	j.mu.Unlock()
+	return nil
+}
+
+// runDistill fits a generator spec to the workload's stored trace. The
+// fit is deterministic and idempotent (re-running an accepted distill
+// re-derives the same spec from the persisted signature), so crashed
+// distill jobs can simply be re-run. The job's result payload is the
+// distill result JSON.
+func (m *Manager) runDistill(ctx context.Context, j *Job) error {
+	res, err := distill.Run(ctx, j.spec.Workload, m.opts.Workloads, m.opts.Store, m.opts.Sigs, distill.Options{})
+	if err != nil {
+		return err
 	}
 	body, err := json.Marshal(res)
 	if err != nil {

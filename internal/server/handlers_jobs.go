@@ -50,17 +50,19 @@ func jobCost(spec job.Spec) int {
 }
 
 // submitJob is the shared admission path for job-creating endpoints
-// (POST /v1/jobs and POST /v1/workloads): tenant rate limit, budget
-// charge, then quota-checked submission. Idempotent resubmissions of
-// existing jobs are refunded — only newly queued work costs budget.
-func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, spec job.Spec) {
+// (POST /v1/jobs, /v1/workloads, and the distill/chunk-complete routes):
+// tenant rate limit, budget charge, then quota-checked submission.
+// Idempotent resubmissions of existing jobs are refunded — only newly
+// queued work costs budget. It reports whether the job was accepted
+// (a 202 was written); every failure path writes its own error response.
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, spec job.Spec) bool {
 	t := s.tenantFor(r)
 	if ok, wait := t.AllowRequest(); !ok {
 		s.met.shed.Inc()
 		s.met.tenantShed(t.Name()).Inc()
 		w.Header().Set("Retry-After", s.retryAfter(wait))
 		http.Error(w, "tenant rate limit exceeded, retry later", http.StatusTooManyRequests)
-		return
+		return false
 	}
 	cost := jobCost(spec)
 	if ok, wait := t.ChargeEvals(cost); !ok {
@@ -69,7 +71,7 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, spec job.Spec
 		setBudgetHeaders(w, t)
 		w.Header().Set("Retry-After", s.retryAfter(wait))
 		http.Error(w, "tenant compute budget exhausted, retry later", http.StatusTooManyRequests)
-		return
+		return false
 	}
 	status, created, err := s.jobs.SubmitAs(spec, ownerName(t), t.MaxJobs())
 	if err != nil {
@@ -80,10 +82,10 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, spec job.Spec
 			w.Header().Set("Retry-After", s.retryAfter(0))
 			http.Error(w, fmt.Sprintf("tenant %q is at its concurrent-job quota (%d live jobs); wait for one to finish",
 				t.Name(), t.MaxJobs()), http.StatusTooManyRequests)
-			return
+			return false
 		}
 		badRequest(w, err)
-		return
+		return false
 	}
 	if !created {
 		t.RefundEvals(cost)
@@ -95,6 +97,7 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request, spec job.Spec
 	w.Header().Set("Location", "/v1/jobs/"+status.ID)
 	w.WriteHeader(http.StatusAccepted)
 	_ = json.NewEncoder(w).Encode(status)
+	return true
 }
 
 // handleJobSubmit accepts a job spec and answers 202 with the (possibly

@@ -79,10 +79,35 @@ func apiRoutes() []routeSpec {
 		{method: "GET", pattern: "/v1/workloads/{name}", tag: "workloads",
 			summary: "One workload's source record.",
 			handler: (*Server).handleWorkloadGet},
+		{method: "DELETE", pattern: "/v1/workloads/{name}", tag: "workloads",
+			summary: "Remove an ingested workload; refused with 409 while aliases still depend on it.",
+			handler: (*Server).handleWorkloadDelete},
 		{method: "GET", pattern: "/v1/workloads/{name}/artifacts/{artifact}", tag: "workloads",
 			summary: "A traffic-dependent artifact rendered for one workload.",
 			handler: (*Server).handleWorkloadArtifact,
 			query:   []querySpec{{"format", "csv or json (default json)"}}},
+		{method: "GET", pattern: "/v1/workloads/{name}/signature", tag: "workloads",
+			summary: "The workload's locality signature (reuse-distance and stride histograms, R/W mix, footprint).",
+			handler: (*Server).handleWorkloadSignature},
+		{method: "GET", pattern: "/v1/workloads/{name}/similar", tag: "workloads",
+			summary: "Other workloads ranked by normalized signature distance.",
+			handler: (*Server).handleWorkloadSimilar,
+			query:   []querySpec{{"limit", "return at most this many matches (default all)"}}},
+		{method: "POST", pattern: "/v1/workloads/{name}/distill", tag: "workloads",
+			summary: "Fit a compact generator spec to the stored trace as an async job; responds 202 with the job ID.",
+			handler: (*Server).handleWorkloadDistill},
+		{method: "POST", pattern: "/v1/workloads/{name}/chunks", tag: "workloads",
+			summary: "Append one chunk of a resumable trace upload at ?offset=; a wrong offset answers 409 with the resume offset. ?complete=1 assembles the chunks and submits the ingestion job.",
+			handler: (*Server).handleWorkloadChunkAppend,
+			query: []querySpec{
+				{"offset", "byte offset of this chunk; must equal the bytes accepted so far"},
+				{"complete", "1 finishes the upload: assemble, submit the ingest job (202), discard the chunks"},
+				{"mem_ops_per_kilo_instr", "core-model memory operations per kiloinstruction for the completed ingestion (default 300)"},
+				{"ipc", "core-model instructions per cycle for the completed ingestion (default 1.0)"},
+			}},
+		{method: "GET", pattern: "/v1/workloads/{name}/chunks", tag: "workloads",
+			summary: "The resumable upload's current offset (0 for unknown names).",
+			handler: (*Server).handleWorkloadChunkOffset},
 		{method: "GET", pattern: "/v1/artifacts", tag: "artifacts",
 			summary: "Artifact catalog: names, titles, typed schemas.",
 			handler: (*Server).handleArtifactList},

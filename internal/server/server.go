@@ -17,9 +17,23 @@
 //	GET  /v1/workloads           workload catalog: 23 static SPEC entries plus
 //	                             every ingested workload
 //	GET  /v1/workloads/{name}    one workload's source record
+//	DELETE /v1/workloads/{name}  remove an ingested workload (refused while
+//	                             aliases still depend on it)
 //	GET  /v1/workloads/{name}/artifacts/{artifact}
 //	                             a traffic-dependent artifact (fig5, fig7,
 //	                             coldtall) rendered for one workload
+//	GET  /v1/workloads/{name}/signature
+//	                             the workload's locality signature
+//	GET  /v1/workloads/{name}/similar
+//	                             other workloads ranked by signature distance
+//	POST /v1/workloads/{name}/distill
+//	                             fit a compact generator spec to the stored
+//	                             trace as an async job (202 + job ID)
+//	POST /v1/workloads/{name}/chunks?offset=N
+//	                             append one chunk of a resumable trace
+//	                             upload (finish with ?complete=1)
+//	GET  /v1/workloads/{name}/chunks
+//	                             the upload's resume offset
 //	POST /v1/jobs                submit an async sweep/artifact/ingest job (202 + ID)
 //	GET  /v1/jobs                job table (ordered by ID)
 //	GET  /v1/jobs/{id}           job state + progress
@@ -74,6 +88,7 @@ import (
 	"coldtall/internal/ingest"
 	"coldtall/internal/job"
 	"coldtall/internal/metrics"
+	"coldtall/internal/signature"
 	"coldtall/internal/store"
 	"coldtall/internal/tenant"
 	"coldtall/internal/workload"
@@ -191,6 +206,9 @@ type serverMetrics struct {
 	traceBytes      *metrics.Histogram
 	traceAccesses   *metrics.Histogram
 	replaySeconds   *metrics.Histogram
+	// ingestDedup counts ingestions that matched an existing workload and
+	// registered as an alias instead of a full entry.
+	ingestDedup *metrics.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -216,6 +234,8 @@ func newServerMetrics() *serverMetrics {
 			[]float64{1e3, 1e4, 1e5, 1e6, 4e6, 8e6}),
 		replaySeconds: reg.Histogram("coldtall_workload_replay_seconds",
 			"Wall-clock LLC replay time per ingestion.", nil),
+		ingestDedup: reg.Counter("coldtall_ingest_dedup_total",
+			"Ingestions deduplicated into aliases of existing workloads."),
 	}
 }
 
@@ -257,11 +277,18 @@ type Server struct {
 	coord     *cluster.Coordinator
 	jobs      *job.Manager
 	workloads *workload.Registry
-	tenants   *tenant.Registry
-	met       *serverMetrics
-	adm       *admissionPool
-	handler   http.Handler
-	draining  atomic.Bool
+	// sigs indexes the locality signature of every registered custom
+	// workload; ingest dedup compares against it and the signature/similar
+	// routes read it.
+	sigs *signature.Index
+	// uploads manages resumable chunked trace uploads (nil without a
+	// store — resumability is a persistence feature).
+	uploads  *ingest.Uploads
+	tenants  *tenant.Registry
+	met      *serverMetrics
+	adm      *admissionPool
+	handler  http.Handler
+	draining atomic.Bool
 	// drainCh closes when the drain starts, before the listener stops
 	// accepting: live SSE subscribers flush a final event and disconnect
 	// so Shutdown is not held open by open streams.
@@ -320,6 +347,10 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 	// through it, so attaching it changes nothing for existing clients.
 	s.workloads = workload.NewRegistry()
 	study.SetWorkloads(s.workloads)
+	// The signature index rides alongside the registry: every completed
+	// ingestion registers its locality signature, and new uploads are
+	// compared against it for near-duplicate detection.
+	s.sigs = signature.NewIndex()
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, store.Options{Version: explorer.ModelVersion})
 		if err != nil {
@@ -339,6 +370,13 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 		} else if rec > 0 || skip > 0 {
 			cfg.Logger.Printf("workload recovery: restored %d ingested workloads (%d records skipped)", rec, skip)
 		}
+		if n := ingest.RecoverSignatures(st, s.workloads, s.sigs); n > 0 {
+			cfg.Logger.Printf("workload recovery: restored %d locality signatures", n)
+		}
+		// Resumable chunked uploads persist through the same store, so an
+		// interrupted upload continues from its acknowledged offset after a
+		// restart.
+		s.uploads = ingest.NewUploads(st)
 	}
 	// The coordinator comes up before the job manager so distributed jobs
 	// (including ones recovered from checkpoints) can lease their grids
@@ -365,6 +403,7 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 		Workers:       cfg.JobWorkers,
 		Logger:        cfg.Logger,
 		Workloads:     s.workloads,
+		Sigs:          s.sigs,
 		Distributor:   dist,
 		MaxConcurrent: cfg.JobConcurrency,
 		Scheduler:     cfg.Scheduler,
@@ -374,6 +413,9 @@ func New(study *coldtall.Study, cfg Config) (*Server, error) {
 			s.met.traceBytes.Observe(float64(res.TraceBytes))
 			s.met.traceAccesses.Observe(float64(res.Source.Accesses))
 			s.met.replaySeconds.Observe(res.ReplaySeconds)
+			if res.Deduped {
+				s.met.ingestDedup.Inc()
+			}
 		},
 		OnTransition: func(id string, from, to job.State) {
 			if to == job.StateRunning {
@@ -449,6 +491,9 @@ func (s *Server) Store() *store.Store { return s.st }
 // Workloads exposes the dynamic workload registry (static SPEC entries
 // plus everything ingested through /v1/workloads).
 func (s *Server) Workloads() *workload.Registry { return s.workloads }
+
+// Signatures exposes the locality-signature index (tests and embedders).
+func (s *Server) Signatures() *signature.Index { return s.sigs }
 
 // CacheStats reports response-cache effectiveness.
 func (s *Server) CacheStats() cache.Stats { return s.respCache.Stats() }

@@ -117,6 +117,7 @@ type Sharded struct {
 	shift    uint
 	mask     uint64
 	accesses uint64
+	observe  func(trace.Access)
 }
 
 // AutoShards picks a shard count for a worker pool: 1 (the serial engine,
@@ -193,6 +194,13 @@ func NewSharded(cfg HierarchyConfig, shards, workers int) (*Sharded, error) {
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
+// SetObserver attaches a per-access observer invoked from Replay's serial
+// partition phase — which sees the stream in global order at any shard
+// count, so observer-derived summaries (the locality signatures of
+// internal/signature) are deterministic across shard counts. Set it
+// before the first Replay call; the observer must not retain the access.
+func (s *Sharded) SetObserver(obs func(trace.Access)) { s.observe = obs }
+
 // cancelStride bounds how many accesses a shard replays between
 // cancellation checks.
 const cancelStride = 8192
@@ -207,6 +215,9 @@ func (s *Sharded) Replay(ctx context.Context, batch []trace.Access) error {
 		s.queues[i] = s.queues[i][:0]
 	}
 	for _, a := range batch {
+		if s.observe != nil {
+			s.observe(a)
+		}
 		q := (a.Addr >> s.shift) & s.mask
 		s.queues[q] = append(s.queues[q], a)
 	}

@@ -17,6 +17,10 @@ const (
 	SourceProfile SourceKind = "profile"
 	// SourceTrace is an ingested user-supplied trace.
 	SourceTrace SourceKind = "trace"
+	// SourceAlias is a name registered as a near-duplicate of an existing
+	// custom workload: it resolves to the canonical entry's traffic and
+	// shares every downstream cache keyed by the canonical name.
+	SourceAlias SourceKind = "alias"
 )
 
 // Source is one workload the DSE can evaluate: a name, its derived LLC
@@ -41,6 +45,13 @@ type Source struct {
 	MemOpsPerKiloInstr float64 `json:"mem_ops_per_kilo_instr,omitempty"`
 	// IPC is instructions per cycle of the modeled core.
 	IPC float64 `json:"ipc,omitempty"`
+	// AliasOf names the canonical workload an alias entry resolves to
+	// (set only for Kind == SourceAlias); Traffic on an alias is a copy of
+	// the canonical entry's, labeled by the canonical name.
+	AliasOf string `json:"alias_of,omitempty"`
+	// DedupDistance records the normalized signature distance the dedup
+	// decision was made at (alias provenance; 0 for an exact re-upload).
+	DedupDistance float64 `json:"dedup_distance,omitempty"`
 }
 
 // nameRE bounds workload names to something safe in URLs, filenames, and
@@ -54,21 +65,39 @@ func (s Source) Validate() error {
 	}
 	switch s.Kind {
 	case SourceStatic, SourceProfile, SourceTrace:
+		if s.AliasOf != "" {
+			return fmt.Errorf("workload: %s: alias_of is only valid on alias entries", s.Name)
+		}
+		if s.Traffic.Benchmark != s.Name {
+			return fmt.Errorf("workload: %s: traffic is labeled %q", s.Name, s.Traffic.Benchmark)
+		}
+	case SourceAlias:
+		if s.AliasOf == "" {
+			return fmt.Errorf("workload: %s: alias entry needs alias_of", s.Name)
+		}
+		if s.AliasOf == s.Name {
+			return fmt.Errorf("workload: %s: alias cannot point at itself", s.Name)
+		}
+		// An alias carries the canonical entry's traffic verbatim, so it
+		// is labeled by the canonical name — the property that keeps
+		// artifacts rendered through an alias byte-identical to the
+		// canonical workload's.
+		if s.Traffic.Benchmark != s.AliasOf {
+			return fmt.Errorf("workload: %s: alias traffic is labeled %q, want canonical %q", s.Name, s.Traffic.Benchmark, s.AliasOf)
+		}
 	default:
 		return fmt.Errorf("workload: %s: unknown source kind %q", s.Name, s.Kind)
-	}
-	if s.Traffic.Benchmark != s.Name {
-		return fmt.Errorf("workload: %s: traffic is labeled %q", s.Name, s.Traffic.Benchmark)
 	}
 	return s.Traffic.Validate()
 }
 
 // Registry resolves workload names to traffic, layering dynamically
 // ingested workloads over the 23 static SPEC entries. It is safe for
-// concurrent use; the static layer is immutable and custom entries can
-// only be added, never mutated, so lookups taken at different times for
-// the same name always agree — the property that keeps cached artifact
-// bytes coherent with later renders.
+// concurrent use; the static layer is immutable and custom entries are
+// never mutated in place — they are added, and removed only through
+// Remove (which refuses canonical entries that still have aliases) — so
+// lookups taken at different times for a live name always agree, the
+// property that keeps cached artifact bytes coherent with later renders.
 type Registry struct {
 	mu     sync.RWMutex
 	custom map[string]Source
@@ -88,7 +117,9 @@ func IsStatic(name string) bool {
 // Add registers a custom workload. Static names are reserved, and an
 // existing custom name can only be re-added with an identical Source (so
 // replayed ingest jobs and boot-time recovery are idempotent) — anything
-// else is a conflict.
+// else is a conflict. Alias entries additionally require their canonical
+// workload to already be registered (and to not be an alias itself, so
+// alias chains cannot form).
 func (r *Registry) Add(s Source) error {
 	if err := s.Validate(); err != nil {
 		return err
@@ -98,6 +129,17 @@ func (r *Registry) Add(s Source) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if s.Kind == SourceAlias {
+		canon, ok := r.custom[s.AliasOf]
+		if !ok {
+			if canon, ok = staticSource(s.AliasOf); !ok {
+				return fmt.Errorf("workload: alias %q points at unknown workload %q", s.Name, s.AliasOf)
+			}
+		}
+		if canon.Kind == SourceAlias {
+			return fmt.Errorf("workload: alias %q points at alias %q (aliases must point at a canonical entry)", s.Name, s.AliasOf)
+		}
+	}
 	if prev, ok := r.custom[s.Name]; ok {
 		if prev != s {
 			return fmt.Errorf("workload: %q already registered with different parameters", s.Name)
@@ -106,6 +148,65 @@ func (r *Registry) Add(s Source) error {
 	}
 	r.custom[s.Name] = s
 	return nil
+}
+
+// Canonical resolves a name through at most one alias hop: an alias
+// returns its canonical workload's name, everything else (including
+// unknown names) returns the name unchanged. Downstream caches keyed by
+// Canonical(name) are shared between a workload and all its aliases.
+func (r *Registry) Canonical(name string) string {
+	r.mu.RLock()
+	s, ok := r.custom[name]
+	r.mu.RUnlock()
+	if ok && s.Kind == SourceAlias {
+		return s.AliasOf
+	}
+	return name
+}
+
+// Dependents lists the alias names pointing at name, sorted.
+func (r *Registry) Dependents(name string) []string {
+	r.mu.RLock()
+	var out []string
+	for _, s := range r.custom {
+		if s.Kind == SourceAlias && s.AliasOf == name {
+			out = append(out, s.Name)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a custom workload and returns the removed Source.
+// Static names are permanent, and a canonical entry with live aliases is
+// refused with an error listing its dependents — remove the aliases
+// first. Callers owning persisted records or response caches keyed by
+// the name must purge those alongside (the registry's add-only coherence
+// argument extends to removal only because the server drops the cached
+// renderings of a removed name before the name can be re-registered).
+func (r *Registry) Remove(name string) (Source, error) {
+	if IsStatic(name) {
+		return Source{}, fmt.Errorf("workload: %q is a static benchmark and cannot be removed", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.custom[name]
+	if !ok {
+		return Source{}, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	var deps []string
+	for _, c := range r.custom {
+		if c.Kind == SourceAlias && c.AliasOf == name {
+			deps = append(deps, c.Name)
+		}
+	}
+	if len(deps) > 0 {
+		sort.Strings(deps)
+		return Source{}, fmt.Errorf("workload: %q is the canonical entry for %d alias(es) %v; remove those first", name, len(deps), deps)
+	}
+	delete(r.custom, name)
+	return s, nil
 }
 
 // Lookup resolves a name against custom entries first, then the static

@@ -129,3 +129,129 @@ func TestExtrapolateMatchesMeasure(t *testing.T) {
 		t.Fatalf("WritesPerSec = %g, want %g", tr.WritesPerSec, want)
 	}
 }
+
+func aliasSource(name, canonical string, canonicalTraffic Traffic) Source {
+	return Source{
+		Name:               name,
+		Kind:               SourceAlias,
+		Traffic:            canonicalTraffic,
+		Accesses:           100000,
+		TraceSHA256:        "cafef00d",
+		MemOpsPerKiloInstr: 300,
+		IPC:                1.0,
+		AliasOf:            canonical,
+		DedupDistance:      0.01,
+	}
+}
+
+func TestRegistryAlias(t *testing.T) {
+	r := NewRegistry()
+	canon := customSource("canon")
+	if err := r.Add(canon); err != nil {
+		t.Fatal(err)
+	}
+	alias := aliasSource("dup", "canon", canon.Traffic)
+	if err := r.Add(alias); err != nil {
+		t.Fatal(err)
+	}
+	// Canonical resolves one hop; non-aliases and unknowns pass through.
+	if got := r.Canonical("dup"); got != "canon" {
+		t.Fatalf("Canonical(dup) = %q", got)
+	}
+	if got := r.Canonical("canon"); got != "canon" {
+		t.Fatalf("Canonical(canon) = %q", got)
+	}
+	if got := r.Canonical("nobody"); got != "nobody" {
+		t.Fatalf("Canonical(nobody) = %q", got)
+	}
+	// The alias resolves to the canonical entry's traffic, labeled by the
+	// canonical name — what keeps artifacts via the alias byte-identical.
+	tr, err := r.Traffic("dup")
+	if err != nil || tr != canon.Traffic {
+		t.Fatalf("Traffic(dup) = %+v, %v", tr, err)
+	}
+	if deps := r.Dependents("canon"); len(deps) != 1 || deps[0] != "dup" {
+		t.Fatalf("Dependents(canon) = %v", deps)
+	}
+
+	// Validation: alias structure errors.
+	for _, bad := range []Source{
+		{Name: "a1", Kind: SourceAlias, Traffic: Traffic{Benchmark: "a1"}},                          // missing alias_of
+		{Name: "a2", Kind: SourceAlias, AliasOf: "a2", Traffic: Traffic{Benchmark: "a2"}},           // self alias
+		{Name: "a3", Kind: SourceAlias, AliasOf: "canon", Traffic: Traffic{Benchmark: "a3"}},        // mislabeled traffic
+		{Name: "a4", Kind: SourceTrace, AliasOf: "canon", Traffic: Traffic{Benchmark: "a4"}},        // alias_of on non-alias
+		{Name: "a5", Kind: SourceAlias, AliasOf: "missing", Traffic: Traffic{Benchmark: "missing"}}, // unknown canonical
+	} {
+		if err := r.Add(bad); err == nil {
+			t.Errorf("Add(%+v) accepted an invalid alias", bad)
+		}
+	}
+	// No chains: an alias cannot point at an alias.
+	chain := aliasSource("chain", "dup", canon.Traffic)
+	chain.Traffic.Benchmark = "dup"
+	if err := r.Add(chain); err == nil || !strings.Contains(err.Error(), "alias") {
+		t.Fatalf("alias chain: %v", err)
+	}
+	// Aliasing a static benchmark is allowed (its traffic is permanent).
+	static, _ := StaticTrafficFor("mcf")
+	staticAlias := aliasSource("mcf-again", "mcf", static)
+	if err := r.Add(staticAlias); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryRemoveOrdering pins the deletion contract: a canonical
+// entry with live aliases is refused with an error naming the dependents;
+// removing the aliases first unblocks it.
+func TestRegistryRemoveOrdering(t *testing.T) {
+	r := NewRegistry()
+	canon := customSource("canon")
+	if err := r.Add(canon); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"dup-b", "dup-a"} {
+		if err := r.Add(aliasSource(name, "canon", canon.Traffic)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := r.Remove("mcf"); err == nil || !strings.Contains(err.Error(), "static") {
+		t.Fatalf("removing a static benchmark: %v", err)
+	}
+	if _, err := r.Remove("nobody"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("removing an unknown name: %v", err)
+	}
+	_, err := r.Remove("canon")
+	if err == nil {
+		t.Fatal("removed a canonical entry with live aliases")
+	}
+	// The error lists the dependents, sorted, so the user knows what to
+	// remove first.
+	if msg := err.Error(); !strings.Contains(msg, "dup-a dup-b") {
+		t.Fatalf("dependent listing missing from %q", msg)
+	}
+
+	for _, name := range []string{"dup-a", "dup-b"} {
+		got, err := r.Remove(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != name || got.Kind != SourceAlias {
+			t.Fatalf("Remove(%s) returned %+v", name, got)
+		}
+	}
+	got, err := r.Remove("canon")
+	if err != nil {
+		t.Fatalf("removing canon after its aliases: %v", err)
+	}
+	if got != canon {
+		t.Fatalf("Remove(canon) returned %+v", got)
+	}
+	if _, ok := r.Lookup("canon"); ok {
+		t.Fatal("canon still resolvable after Remove")
+	}
+	// The freed name can be re-registered.
+	if err := r.Add(customSource("canon")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+#!/bin/sh
+# End-to-end gate for the workload-intelligence subsystem, against a real
+# store-backed `coldtall serve`:
+#
+#   1. Dedup round-trip: the same generator spec ingested under two names
+#      registers the second as an alias of the first, the per-workload
+#      artifact bytes are identical for both names (one shared cache
+#      entry — zero extra sweep work), and the dedup counter ticks.
+#   2. Distillation: a profile-derived trace distills back to a compact
+#      generator spec whose regenerated traffic matches within the pinned
+#      tolerance, replacing the stored trace bytes.
+#   3. Resumable upload: a chunked trace upload interrupted halfway
+#      resumes from the server-reported offset and ingests to the exact
+#      content address (sha256) of the local payload.
+set -eu
+
+BIN="${TMPDIR:-/tmp}/coldtall-wlcheck"
+TRACEGEN="${TMPDIR:-/tmp}/coldtall-wlcheck-tracegen"
+ADDR="${COLDTALL_WLCHECK_ADDR:-127.0.0.1:18085}"
+BASE="http://$ADDR"
+
+go build -o "$BIN" ./cmd/coldtall
+go build -o "$TRACEGEN" ./cmd/tracegen
+
+WORK="$(mktemp -d)"
+cleanup() {
+  kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+
+"$BIN" serve -addr "$ADDR" -store-dir "$WORK/store" &
+PID=$!
+trap cleanup EXIT
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "wlcheck FAIL: /healthz never came up on $ADDR" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# --- 1. Dedup round-trip -------------------------------------------------
+GEN='{"pattern": "stream", "working_set_bytes": 67108864, "write_frac": 0.3, "accesses": 50000, "seed": 5}'
+printf '{"name": "wlorig", "generator": %s}' "$GEN" > "$WORK/orig.json"
+printf '{"name": "wlcopy", "generator": %s}' "$GEN" > "$WORK/copy.json"
+"$BIN" workloads -server "$BASE" -poll 50ms add "$WORK/orig.json" > /dev/null
+"$BIN" workloads -server "$BASE" -poll 50ms add "$WORK/copy.json" > /dev/null
+
+curl -fsS "$BASE/v1/workloads/wlcopy" > "$WORK/copy-record.json"
+grep -q '"kind":"alias"' "$WORK/copy-record.json" &&
+  grep -q '"alias_of":"wlorig"' "$WORK/copy-record.json" || {
+  echo "wlcheck FAIL: identical re-upload did not register as an alias of wlorig" >&2
+  cat "$WORK/copy-record.json" >&2
+  exit 1
+}
+
+curl -fsS "$BASE/v1/workloads/wlorig/artifacts/fig5?format=csv" > "$WORK/orig-fig5.csv"
+curl -fsS "$BASE/v1/workloads/wlcopy/artifacts/fig5?format=csv" > "$WORK/copy-fig5.csv"
+cmp "$WORK/orig-fig5.csv" "$WORK/copy-fig5.csv" || {
+  echo "wlcheck FAIL: alias and canonical render different fig5 bytes" >&2
+  exit 1
+}
+
+curl -fsS "$BASE/metrics" | grep -q '^coldtall_ingest_dedup_total 1$' || {
+  echo "wlcheck FAIL: coldtall_ingest_dedup_total did not count the dedup" >&2
+  exit 1
+}
+
+"$BIN" workloads -server "$BASE" similar wlorig > "$WORK/similar.txt"
+"$BIN" workloads -server "$BASE" sig wlcopy | grep -q 'canonical = wlorig' || {
+  echo "wlcheck FAIL: alias signature did not resolve to the canonical workload" >&2
+  exit 1
+}
+
+# --- 2. Distillation ------------------------------------------------------
+printf '{"name": "wlprof", "generator": {"profile": "mcf", "accesses": 65536, "seed": 1}}' > "$WORK/prof.json"
+"$BIN" workloads -server "$BASE" -poll 50ms add "$WORK/prof.json" > /dev/null
+"$BIN" workloads -server "$BASE" -poll 50ms distill wlprof > "$WORK/distill.txt"
+grep -q 'accepted  = true' "$WORK/distill.txt" || {
+  echo "wlcheck FAIL: distillation did not recover the traffic within tolerance" >&2
+  cat "$WORK/distill.txt" >&2
+  exit 1
+}
+grep -q 'deleted true' "$WORK/distill.txt" || {
+  echo "wlcheck FAIL: accepted distillation did not replace the stored trace" >&2
+  cat "$WORK/distill.txt" >&2
+  exit 1
+}
+
+# --- 3. Chunked upload, interrupted and resumed ---------------------------
+"$TRACEGEN" -bench mcf -n 100000 -seed 9 -format binary > "$WORK/up.ctrace"
+SIZE=$(wc -c < "$WORK/up.ctrace")
+HALF=$((SIZE / 2))
+dd if="$WORK/up.ctrace" of="$WORK/chunk1" bs="$HALF" count=1 2>/dev/null
+dd if="$WORK/up.ctrace" of="$WORK/chunk2" bs="$HALF" skip=1 2>/dev/null
+
+# First half lands; the "crashed" client then reads the resume offset back
+# instead of trusting any local state.
+curl -fsS -X POST --data-binary "@$WORK/chunk1" "$BASE/v1/workloads/wlchunk/chunks?offset=0" > /dev/null
+RESUME=$(curl -fsS "$BASE/v1/workloads/wlchunk/chunks" | sed 's/.*"offset":\([0-9]*\).*/\1/')
+[ "$RESUME" = "$HALF" ] || {
+  echo "wlcheck FAIL: resume offset $RESUME after interruption, want $HALF" >&2
+  exit 1
+}
+
+# A stale retransmit of the first chunk must be refused with the offset.
+CODE=$(curl -s -o "$WORK/stale.json" -w '%{http_code}' -X POST --data-binary "@$WORK/chunk1" "$BASE/v1/workloads/wlchunk/chunks?offset=0")
+[ "$CODE" = "409" ] || {
+  echo "wlcheck FAIL: stale chunk retransmit answered $CODE, want 409" >&2
+  exit 1
+}
+
+# Resume with the rest and complete; the ack is the ingest job status.
+curl -fsS -X POST --data-binary "@$WORK/chunk2" \
+  "$BASE/v1/workloads/wlchunk/chunks?offset=$RESUME&complete=1" > "$WORK/complete.json"
+JOB_ID=$(sed 's/.*"id":"\([^"]*\)".*/\1/' "$WORK/complete.json")
+"$BIN" jobs -server "$BASE" -poll 50ms wait "$JOB_ID" > /dev/null
+
+WANT_SHA=$(sha256sum "$WORK/up.ctrace" | cut -d' ' -f1)
+curl -fsS "$BASE/v1/workloads/wlchunk" > "$WORK/chunk-record.json"
+grep -q "\"trace_sha256\":\"$WANT_SHA\"" "$WORK/chunk-record.json" || {
+  echo "wlcheck FAIL: resumed upload ingested a different trace content address" >&2
+  cat "$WORK/chunk-record.json" >&2
+  exit 1
+}
+
+# --- teardown: rm in dependency order, then a clean drain -----------------
+"$BIN" workloads -server "$BASE" rm wlcopy > /dev/null
+"$BIN" workloads -server "$BASE" rm wlorig > /dev/null
+
+kill -TERM "$PID"
+wait "$PID" || { echo "wlcheck FAIL: server did not drain cleanly" >&2; exit 1; }
+trap - EXIT
+rm -rf "$WORK"
+
+echo "wlcheck OK: dedup aliased with shared artifact bytes; distill accepted and compacted; interrupted upload resumed to the exact content address"
